@@ -1,0 +1,91 @@
+// Shared configuration for the table/figure reproduction benches.
+//
+// Default dataset scales are sized for a single CPU core; every bench
+// accepts --scale / --epochs / --repeats to move along the paper's axes.
+// The paper's per-dataset n0 values (§VI) are scaled with the data.
+#ifndef SCIS_BENCH_BENCH_COMMON_H_
+#define SCIS_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "core/scis.h"
+#include "eval/experiment.h"
+#include "eval/table.h"
+#include "models/gain_imputer.h"
+#include "models/ginn_imputer.h"
+
+namespace scis::bench {
+
+// The paper's initial sample sizes (§VI), keyed by dataset name.
+inline size_t PaperInitialSize(const std::string& dataset) {
+  if (dataset == "Trial" || dataset == "Emergency") return 500;
+  if (dataset == "Response") return 2000;
+  if (dataset == "Search") return 6000;
+  return 20000;  // Weather, Surveil
+}
+
+// The paper's full row counts (Table II), keyed by dataset name.
+inline size_t PaperRowCount(const std::string& dataset) {
+  if (dataset == "Trial") return 6433;
+  if (dataset == "Emergency") return 8364;
+  if (dataset == "Response") return 200737;
+  if (dataset == "Search") return 948762;
+  if (dataset == "Weather") return 4911011;
+  return 22507139;  // Surveil
+}
+
+// n0 scaled with the dataset (absolute sizes matter in Theorem 1); floored
+// so the initial model still has enough rows to learn from.
+inline size_t ScaledInitialSize(const std::string& dataset, size_t rows) {
+  const double frac = static_cast<double>(rows) /
+                      static_cast<double>(PaperRowCount(dataset));
+  const auto scaled = static_cast<size_t>(
+      static_cast<double>(PaperInitialSize(dataset)) * frac);
+  return std::min(rows / 3, std::max<size_t>(400, scaled));
+}
+
+// SCIS configuration with the §VI hyper-parameters (λ=130, α=0.05, β=0.01,
+// k=20, ε=0.001) on top of a scaled n0.
+inline ScisOptions PaperScisOptions(const SyntheticSpec& spec, int epochs) {
+  ScisOptions o;
+  o.validation_size = std::min<size_t>(1000, spec.rows / 5);
+  o.initial_size = ScaledInitialSize(spec.name, spec.rows);
+  o.dim.epochs = epochs;
+  o.dim.lambda = 130.0;
+  o.sse.epsilon = 0.001;
+  o.sse.alpha = 0.05;
+  o.sse.beta = 0.01;
+  o.sse.k = 20;
+  return o;
+}
+
+// Builds a GAN imputer by name wired for SCIS (epochs handled by DIM).
+inline std::unique_ptr<GenerativeImputer> MakeGenerative(
+    const std::string& name, uint64_t seed) {
+  Result<std::unique_ptr<GenerativeImputer>> res =
+      MakeGenerativeImputer(name, seed);
+  SCIS_CHECK_MSG(res.ok(), "unknown GAN imputer");
+  return std::move(res).value();
+}
+
+// One row of a paper-style table; "-" marks the methods the paper reports
+// as not finishing within 10^5 seconds at that scale.
+inline std::vector<std::string> ResultRow(const std::string& method,
+                                          const AggregateResult& agg,
+                                          bool show_rt) {
+  return {method, FormatMeanStd(agg.rmse.mean, agg.rmse.stddev),
+          FormatSeconds(agg.seconds.mean),
+          show_rt ? StrFormat("%.2f", agg.sample_rate.mean) : "100"};
+}
+
+inline std::vector<std::string> UnavailableRow(const std::string& method) {
+  return {method, "-", "-", "-"};
+}
+
+}  // namespace scis::bench
+
+#endif  // SCIS_BENCH_BENCH_COMMON_H_

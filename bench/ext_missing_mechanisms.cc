@@ -1,0 +1,87 @@
+// Extension experiment (§VII future work): the paper notes SCIS assumes
+// MCAR and leaves complex missingness open. This bench measures how GAIN
+// and SCIS-GAIN degrade when the injected mechanism is MAR (missingness
+// driven by another column) or MNAR (self-masking of large values),
+// holding the overall missing rate fixed.
+#include "bench/bench_common.h"
+#include "data/missingness.h"
+
+using namespace scis;
+using namespace scis::bench;
+
+namespace {
+
+// PrepareData variant with a pluggable mechanism for the extra drop.
+PreparedData PrepareWithMechanism(const SyntheticSpec& spec,
+                                  const std::string& mechanism, double rate,
+                                  uint64_t seed) {
+  SyntheticSpec s = spec;
+  s.seed = spec.seed ^ (seed * 0x9E3779B97F4A7C15ULL);
+  LabeledDataset gen = GenerateSynthetic(s);
+  Rng rng(seed + 1);
+  Dataset incomplete = gen.incomplete;
+  if (mechanism == "MAR") {
+    incomplete = InjectMar(incomplete, rate, 4.0, rng);
+  } else if (mechanism == "MNAR") {
+    incomplete = InjectMnar(incomplete, rate, 8.0, rng);
+  } else {
+    incomplete = InjectMcar(incomplete, rate, rng);
+  }
+  HoldOut holdout = MakeHoldOut(incomplete, 0.2, rng);
+  MinMaxNormalizer norm;
+  PreparedData out;
+  out.spec = s;
+  out.train = norm.FitTransform(holdout.train);
+  out.eval_mask = holdout.eval_mask;
+  out.truth = Matrix(holdout.truth.rows(), holdout.truth.cols());
+  for (size_t i = 0; i < out.truth.rows(); ++i)
+    for (size_t j = 0; j < out.truth.cols(); ++j)
+      if (holdout.eval_mask(i, j) == 1.0)
+        out.truth(i, j) = (holdout.truth(i, j) - norm.lo()[j]) /
+                          (norm.hi()[j] - norm.lo()[j]);
+  out.labels = gen.labels;
+  out.task = s.task;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = 0.5;
+  long long epochs = 20;
+  double rate = 0.3;
+  FlagParser flags;
+  flags.AddDouble("scale", &scale, "row-count multiplier vs the paper");
+  flags.AddInt("epochs", &epochs, "deep-model training epochs");
+  flags.AddDouble("rate", &rate, "extra missingness rate injected");
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::printf("%s\n", st.ToString().c_str());
+    return st.code() == StatusCode::kOutOfRange ? 0 : 1;
+  }
+
+  SyntheticSpec spec = TrialSpec(scale);
+  std::printf("=== Extension — missing mechanisms (%s, extra rate %.0f%%) "
+              "===\n",
+              spec.name.c_str(), rate * 100);
+  TablePrinter table({"Mechanism", "GAIN RMSE", "SCIS RMSE", "SCIS R_t (%)"});
+  for (const std::string mech : {"MCAR", "MAR", "MNAR"}) {
+    PreparedData prep = PrepareWithMechanism(spec, mech, rate, 7);
+    double gain_rmse;
+    {
+      auto imp = MakeImputer("GAIN", static_cast<int>(epochs), 7);
+      gain_rmse = RunPlain(**imp, prep).rmse;
+    }
+    auto gen = MakeGenerative("GAIN", 7);
+    MethodResult r =
+        RunScis(*gen, PaperScisOptions(spec, static_cast<int>(epochs)), prep);
+    table.AddRow({mech, StrFormat("%.4f", gain_rmse),
+                  StrFormat("%.4f", r.rmse),
+                  StrFormat("%.2f", r.sample_rate)});
+  }
+  table.Print();
+  std::printf(
+      "MCAR is the paper's operating assumption; MAR/MNAR quantify the\n"
+      "§VII open problem (imputation error grows as the mechanism departs\n"
+      "from MCAR, and the Theorem-1 guarantee is no longer exact).\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 2: effect of the missing rate R_m (fraction of observed values
+// additionally dropped) on GAIN vs SCIS-GAIN — RMSE, training time,
+// training sample rate R_t, and the SSE module's share of SCIS time.
+#include "bench/bench_common.h"
+
+using namespace scis;
+using namespace scis::bench;
+
+int main(int argc, char** argv) {
+  double scale = 0.5;
+  long long epochs = 20;
+  long long repeats = 1;
+  std::string dataset = "Trial";
+  FlagParser flags;
+  flags.AddDouble("scale", &scale, "row-count multiplier vs the paper");
+  flags.AddInt("epochs", &epochs, "deep-model training epochs");
+  flags.AddInt("repeats", &repeats, "random divisions averaged");
+  flags.AddString("dataset", &dataset, "which Table-II dataset shape");
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::printf("%s\n", st.ToString().c_str());
+    return st.code() == StatusCode::kOutOfRange ? 0 : 1;
+  }
+
+  SyntheticSpec spec;
+  for (const SyntheticSpec& s : AllCovidSpecs(scale)) {
+    if (s.name == dataset) spec = s;
+  }
+  if (spec.name.empty()) {
+    std::printf("unknown dataset %s\n", dataset.c_str());
+    return 1;
+  }
+
+  std::printf("=== Figure 2 — %s: sweep missing rate R_m ===\n",
+              spec.name.c_str());
+  TablePrinter table({"R_m (%)", "GAIN RMSE", "GAIN Time (s)",
+                      "SCIS RMSE", "SCIS Time (s)", "SCIS R_t (%)",
+                      "SSE Time (s)"});
+  for (double rm : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    AggregateResult gain = Repeat(repeats, [&](uint64_t seed) {
+      PreparedData prep = PrepareData(spec, 0.2, rm, seed);
+      auto imp = MakeImputer("GAIN", static_cast<int>(epochs), seed);
+      return RunPlain(**imp, prep);
+    });
+    AggregateResult sc = Repeat(repeats, [&](uint64_t seed) {
+      PreparedData prep = PrepareData(spec, 0.2, rm, seed);
+      auto gen = MakeGenerative("GAIN", seed);
+      return RunScis(*gen, PaperScisOptions(spec, static_cast<int>(epochs)),
+                     prep);
+    });
+    table.AddRow({StrFormat("%.0f", rm * 100),
+                  FormatMeanStd(gain.rmse.mean, gain.rmse.stddev),
+                  FormatSeconds(gain.seconds.mean),
+                  FormatMeanStd(sc.rmse.mean, sc.rmse.stddev),
+                  FormatSeconds(sc.seconds.mean),
+                  StrFormat("%.2f", sc.sample_rate.mean),
+                  FormatSeconds(sc.sse_seconds.mean)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 3: effect of the user-tolerated error bound ε on SCIS-GAIN.
+// Reports, per ε: SCIS RMSE, the user-tolerated error R^u_mse + ε (where
+// R^u_mse is full-data DIM-GAIN), the original-model error R^o_mse + ε
+// (full-data GAIN), the initial sample rate R1 = n0/N and the minimum
+// sample rate R2 = n*/N. The paper's reading: SCIS RMSE stays below both
+// budgets, R2 shrinks as ε grows, and past a knee n* hits the n0 floor.
+#include "bench/bench_common.h"
+
+using namespace scis;
+using namespace scis::bench;
+
+int main(int argc, char** argv) {
+  double scale = 0.5;
+  long long epochs = 20;
+  std::string dataset = "Trial";
+  FlagParser flags;
+  flags.AddDouble("scale", &scale, "row-count multiplier vs the paper");
+  flags.AddInt("epochs", &epochs, "deep-model training epochs");
+  flags.AddString("dataset", &dataset, "which Table-II dataset shape");
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::printf("%s\n", st.ToString().c_str());
+    return st.code() == StatusCode::kOutOfRange ? 0 : 1;
+  }
+
+  SyntheticSpec spec;
+  for (const SyntheticSpec& s : AllCovidSpecs(scale)) {
+    if (s.name == dataset) spec = s;
+  }
+  if (spec.name.empty()) {
+    std::printf("unknown dataset %s\n", dataset.c_str());
+    return 1;
+  }
+
+  PreparedData prep = PrepareData(spec, 0.2, 0.0, 77);
+  const size_t n = prep.train.num_rows();
+  std::printf("=== Figure 3 — %s: sweep error bound ε ===\n",
+              spec.name.c_str());
+
+  // Reference errors on the full dataset.
+  double r_u = 0.0, r_o = 0.0;
+  {
+    auto gen = MakeGenerative("GAIN", 77);
+    DimOptions dopts = PaperScisOptions(spec, static_cast<int>(epochs)).dim;
+    MethodResult r = RunDim(*gen, dopts, prep);
+    r_u = r.rmse;
+  }
+  {
+    auto imp = MakeImputer("GAIN", static_cast<int>(epochs), 77);
+    MethodResult r = RunPlain(**imp, prep);
+    r_o = r.rmse;
+  }
+  std::printf("full-data references: R^u_mse (DIM-GAIN) = %.4f, "
+              "R^o_mse (GAIN) = %.4f\n",
+              r_u, r_o);
+
+  TablePrinter table({"eps", "SCIS RMSE", "R^u+eps", "R^o+eps", "R1 (%)",
+                      "R2 (%)", "Time (s)"});
+  for (double eps : {0.001, 0.003, 0.005, 0.007, 0.009}) {
+    ScisOptions opts = PaperScisOptions(spec, static_cast<int>(epochs));
+    opts.sse.epsilon = eps;
+    auto gen = MakeGenerative("GAIN", 77);
+    MethodResult r = RunScis(*gen, opts, prep);
+    table.AddRow({StrFormat("%.3f", eps), StrFormat("%.4f", r.rmse),
+                  StrFormat("%.4f", r_u + eps), StrFormat("%.4f", r_o + eps),
+                  StrFormat("%.2f",
+                            100.0 * static_cast<double>(opts.initial_size) /
+                                static_cast<double>(n)),
+                  StrFormat("%.2f", r.sample_rate),
+                  FormatSeconds(r.seconds)});
+  }
+  table.Print();
+  return 0;
+}

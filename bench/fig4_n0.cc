@@ -1,0 +1,51 @@
+// Figure 4: effect of the initial sample size n0 on SCIS-GAIN — RMSE,
+// training time, and R_t. The paper's reading: each dataset has an
+// accuracy-optimal n0, and smaller n0 inflates the Theorem-1 variance
+// (1/n0 − 1/n), pushing n* (and so R_t) up.
+#include "bench/bench_common.h"
+
+using namespace scis;
+using namespace scis::bench;
+
+int main(int argc, char** argv) {
+  double scale = 0.5;
+  long long epochs = 20;
+  std::string dataset = "Trial";
+  FlagParser flags;
+  flags.AddDouble("scale", &scale, "row-count multiplier vs the paper");
+  flags.AddInt("epochs", &epochs, "deep-model training epochs");
+  flags.AddString("dataset", &dataset, "which Table-II dataset shape");
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::printf("%s\n", st.ToString().c_str());
+    return st.code() == StatusCode::kOutOfRange ? 0 : 1;
+  }
+
+  SyntheticSpec spec;
+  for (const SyntheticSpec& s : AllCovidSpecs(scale)) {
+    if (s.name == dataset) spec = s;
+  }
+  if (spec.name.empty()) {
+    std::printf("unknown dataset %s\n", dataset.c_str());
+    return 1;
+  }
+
+  PreparedData prep = PrepareData(spec, 0.2, 0.0, 88);
+  const size_t n = prep.train.num_rows();
+  std::printf("=== Figure 4 — %s: sweep initial size n0 (N=%zu) ===\n",
+              spec.name.c_str(), n);
+  TablePrinter table(
+      {"n0", "RMSE", "Time (s)", "R_t (%)", "n*", "SSE Time (s)"});
+  for (size_t n0 : {125u, 250u, 500u, 1000u, 2000u}) {
+    if (n0 >= n / 2) continue;
+    ScisOptions opts = PaperScisOptions(spec, static_cast<int>(epochs));
+    opts.initial_size = n0;
+    auto gen = MakeGenerative("GAIN", 88);
+    MethodResult r = RunScis(*gen, opts, prep);
+    table.AddRow({StrFormat("%zu", n0), StrFormat("%.4f", r.rmse),
+                  FormatSeconds(r.seconds), StrFormat("%.2f", r.sample_rate),
+                  StrFormat("%zu", r.n_star),
+                  FormatSeconds(r.sse_seconds)});
+  }
+  table.Print();
+  return 0;
+}

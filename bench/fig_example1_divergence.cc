@@ -1,0 +1,67 @@
+// §IV-A Example 1: the vanishing-gradient pathology, made concrete.
+// True data δ0, generated data δθ, masks ~ Bernoulli(q). Prints, per θ:
+//   * the closed-form JS divergence (0 at θ=0, the constant 2·log 2
+//     elsewhere — zero gradient almost everywhere), and
+//   * the empirical MS divergence (≈ 2qθ², smooth in θ) with its
+//     finite-difference gradient (≈ 4qθ, informative everywhere).
+#include <cmath>
+#include <cstdio>
+
+#include "common/flags.h"
+#include "eval/table.h"
+#include "ot/divergence.h"
+#include "common/string_util.h"
+
+using namespace scis;
+
+namespace {
+
+double MsAt(double theta, double q, size_t n, const SinkhornOptions& opts) {
+  Matrix x(n, 1);  // all zeros: the true distribution δ0
+  Matrix m(n, 1);
+  for (size_t i = 0; i < n; ++i) m(i, 0) = i < static_cast<size_t>(q * n);
+  Matrix xbar = Matrix::Full(n, 1, theta);
+  return MsDivergence(xbar, x, m, opts, /*with_grad=*/false).value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double q = 0.5;
+  long long n = 64;
+  FlagParser flags;
+  flags.AddDouble("q", &q, "mask observation probability (Bernoulli)");
+  flags.AddInt("n", &n, "empirical sample count");
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::printf("%s\n", st.ToString().c_str());
+    return st.code() == StatusCode::kOutOfRange ? 0 : 1;
+  }
+
+  SinkhornOptions opts;
+  opts.lambda = 0.01;
+  opts.max_iters = 3000;
+  opts.tol = 1e-12;
+
+  std::printf("=== Example 1 — JS vs MS divergence, q = %.2f ===\n", q);
+  TablePrinter table({"theta", "JS(p0||ptheta)", "dJS/dtheta",
+                      "MS (empirical)", "dMS/dtheta", "2*q*theta^2"});
+  const double h = 0.01;
+  for (double theta : {0.0, 0.1, 0.25, 0.5, 0.75, 1.0}) {
+    const double js = theta == 0.0 ? 0.0 : 2.0 * std::log(2.0);
+    const double djs = 0.0;  // zero almost everywhere
+    const double ms = MsAt(theta, q, n, opts);
+    const double dms =
+        (MsAt(theta + h, q, n, opts) - MsAt(std::max(0.0, theta - h), q,
+                                            n, opts)) /
+        (theta == 0.0 ? h : 2 * h);
+    table.AddRow({StrFormat("%.2f", theta), StrFormat("%.4f", js),
+                  StrFormat("%.4f", djs), StrFormat("%.4f", ms),
+                  StrFormat("%.4f", dms),
+                  StrFormat("%.4f", 2.0 * q * theta * theta)});
+  }
+  table.Print();
+  std::printf(
+      "JS is flat away from 0 (vanishing gradient); the MS divergence is\n"
+      "smooth with gradient ~ 4*q*theta, matching the Example-1 algebra.\n");
+  return 0;
+}

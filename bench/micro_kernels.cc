@@ -1,0 +1,177 @@
+// Microbenchmarks (google-benchmark) for the kernels that dominate SCIS
+// runtime: Sinkhorn solves, the MS divergence + Prop.-1 gradient, autodiff
+// MLP steps, the GINN kNN graph build, and CART tree fitting. These back
+// the DESIGN.md ablation on log-domain Sinkhorn cost vs λ.
+#include <benchmark/benchmark.h>
+
+#include "core/dim.h"
+#include "models/gain_imputer.h"
+#include "models/tree.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "ot/divergence.h"
+#include "ot/sinkhorn.h"
+#include "tensor/matrix_ops.h"
+#include "tensor/rng.h"
+#include "tensor/sparse.h"
+
+namespace scis {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  Matrix a = rng.NormalMatrix(n, n);
+  Matrix b = rng.NormalMatrix(n, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_PairwiseDistances(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  Matrix a = rng.UniformMatrix(n, 16, 0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PairwiseSquaredDistances(a, a));
+  }
+}
+BENCHMARK(BM_PairwiseDistances)->Arg(128)->Arg(512);
+
+// Sinkhorn iteration cost vs λ: large λ (the paper's 130) converges in a
+// couple of iterations; small λ needs many more — the log-domain solver
+// trades per-iteration cost for unconditional stability.
+void BM_Sinkhorn(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const double lambda = static_cast<double>(state.range(1)) / 100.0;
+  Rng rng(3);
+  Matrix x = rng.UniformMatrix(n, 8, 0, 1);
+  Matrix cost = PairwiseSquaredDistances(x, x);
+  SinkhornOptions opts;
+  opts.lambda = lambda;
+  opts.max_iters = 200;
+  opts.tol = 1e-9;
+  int iters = 0;
+  for (auto _ : state) {
+    SinkhornSolution s = SolveSinkhorn(cost, opts);
+    iters = s.iters;
+    benchmark::DoNotOptimize(s.reg_value);
+  }
+  state.counters["sinkhorn_iters"] = iters;
+}
+BENCHMARK(BM_Sinkhorn)
+    ->Args({128, 5})      // λ = 0.05
+    ->Args({128, 100})    // λ = 1
+    ->Args({128, 13000})  // λ = 130 (paper)
+    ->Args({256, 13000});
+
+void BM_MsDivergenceWithGrad(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(4);
+  Matrix x = rng.UniformMatrix(n, 9, 0, 1);
+  Matrix xbar = rng.UniformMatrix(n, 9, 0, 1);
+  Matrix m = rng.BernoulliMatrix(n, 9, 0.7);
+  SinkhornOptions opts;
+  opts.lambda = 130.0;
+  opts.max_iters = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MsDivergence(xbar, x, m, opts, true));
+  }
+}
+BENCHMARK(BM_MsDivergenceWithGrad)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MlpForwardBackward(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  ParamStore store;
+  Mlp net(&store, "bench", {18, 9, 9}, Activation::kRelu,
+          Activation::kSigmoid, rng);
+  Adam adam(1e-3);
+  Matrix x = rng.UniformMatrix(batch, 18, 0, 1);
+  Matrix y = rng.UniformMatrix(batch, 9, 0, 1);
+  Matrix w = Matrix::Ones(batch, 9);
+  for (auto _ : state) {
+    Tape tape;
+    Var pred = net.Forward(tape, tape.Constant(x));
+    Var loss = WeightedMseLoss(pred, tape.Constant(y), tape.Constant(w));
+    tape.Backward(loss);
+    adam.Step(store, store.CollectGrads());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_MlpForwardBackward)->Arg(128)->Arg(512);
+
+void BM_GainTrainingEpoch(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(6);
+  Matrix values = rng.UniformMatrix(n, 9, 0, 1);
+  Matrix mask = rng.BernoulliMatrix(n, 9, 0.8);
+  MulInPlace(values, mask);
+  Dataset data("bench", values, mask, {});
+  for (auto _ : state) {
+    GainImputerOptions o;
+    o.deep.epochs = 1;
+    GainImputer gain(o);
+    benchmark::DoNotOptimize(gain.Fit(data));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GainTrainingEpoch)->Arg(1024)->Arg(4096);
+
+void BM_DimTrainingEpoch(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  Matrix values = rng.UniformMatrix(n, 9, 0, 1);
+  Matrix mask = rng.BernoulliMatrix(n, 9, 0.8);
+  MulInPlace(values, mask);
+  Dataset data("bench", values, mask, {});
+  for (auto _ : state) {
+    GainImputerOptions o;
+    o.deep.epochs = 1;
+    GainImputer gain(o);
+    DimOptions d;
+    d.epochs = 1;
+    d.lambda = 130.0;
+    DimTrainer dim(d);
+    benchmark::DoNotOptimize(dim.Train(gain, data));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DimTrainingEpoch)->Arg(1024)->Arg(4096);
+
+// The O(n²·d) graph build that makes GINN infeasible at scale.
+void BM_KnnGraphBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(8);
+  Matrix x = rng.UniformMatrix(n, 9, 0, 1);
+  Matrix m = rng.BernoulliMatrix(n, 9, 0.8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildKnnGraph(x, m, 10));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_KnnGraphBuild)->Arg(512)->Arg(2048);
+
+void BM_TreeFit(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(9);
+  Matrix x = rng.UniformMatrix(n, 8, 0, 1);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) y[i] = x(i, 0) + 0.5 * x(i, 3);
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  for (auto _ : state) {
+    RegressionTree tree;
+    tree.Fit(x, y, idx, rng);
+    benchmark::DoNotOptimize(tree.num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TreeFit)->Arg(1024)->Arg(8192);
+
+}  // namespace
+}  // namespace scis
+
+BENCHMARK_MAIN();

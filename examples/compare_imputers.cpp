@@ -1,0 +1,68 @@
+// Survey example: run every implemented imputation family on one dataset
+// and print a Table-III-style comparison. Useful as a template for
+// benchmarking your own data via ReadCsvDataset.
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "eval/experiment.h"
+#include "eval/table.h"
+
+using namespace scis;
+
+int main(int argc, char** argv) {
+  double scale = 0.15;
+  long long epochs = 10;
+  std::string dataset = "Trial";
+  FlagParser flags;
+  flags.AddDouble("scale", &scale, "row-count multiplier vs the paper");
+  flags.AddInt("epochs", &epochs, "deep-model training epochs");
+  flags.AddString("dataset", &dataset,
+                  "Trial|Emergency|Response|Search|Weather|Surveil");
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::printf("%s\n", st.ToString().c_str());
+    return st.code() == StatusCode::kOutOfRange ? 0 : 1;
+  }
+
+  SyntheticSpec spec;
+  for (const SyntheticSpec& s : AllCovidSpecs(scale)) {
+    if (s.name == dataset) spec = s;
+  }
+  if (spec.name.empty()) {
+    std::printf("unknown dataset %s\n", dataset.c_str());
+    return 1;
+  }
+
+  PreparedData prep = PrepareData(spec, 0.2, 0.0, 42);
+  std::printf("%s: %zu rows x %zu cols, %.1f%% missing after hold-out\n\n",
+              spec.name.c_str(), prep.train.num_rows(),
+              prep.train.num_cols(), 100.0 * prep.train.MissingRate());
+
+  TablePrinter table({"Method", "RMSE", "Time (s)", "R_t (%)"});
+  for (const std::string& name : KnownImputerNames()) {
+    auto imp = MakeImputer(name, static_cast<int>(epochs), 42);
+    if (!imp.ok()) continue;
+    MethodResult r = RunPlain(**imp, prep);
+    table.AddRow({r.method, StrFormat("%.4f", r.rmse),
+                  FormatSeconds(r.seconds),
+                  StrFormat("%.1f", r.sample_rate)});
+  }
+  // SCIS on top of the GAN-based models.
+  for (const std::string& name : {std::string("GINN"), std::string("GAIN")}) {
+    auto imp = MakeImputer(name, 1, 42);
+    if (!imp.ok()) continue;
+    auto* gen = dynamic_cast<GenerativeImputer*>(imp->get());
+    ScisOptions opts;
+    opts.validation_size = 300;
+    opts.initial_size = 400;
+    opts.dim.epochs = static_cast<int>(epochs);
+    opts.dim.lambda = 130.0;
+    opts.sse.epsilon = 0.001;
+    MethodResult r = RunScis(*gen, opts, prep);
+    table.AddRow({r.method, StrFormat("%.4f", r.rmse),
+                  FormatSeconds(r.seconds),
+                  StrFormat("%.1f", r.sample_rate)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Downstream-analytics scenario (§VI-D): impute a Weather-shaped sensor
+// table, then train a regressor on the completed data, comparing
+// prediction quality across imputers — the paper's ultimate argument that
+// better imputation helps the analyses that follow.
+//
+// Compares: no-model mean fill, GAIN, SCIS-GAIN.
+#include <cstdio>
+
+#include "common/flags.h"
+#include "core/scis.h"
+#include "data/covid_synth.h"
+#include "data/missingness.h"
+#include "data/normalizer.h"
+#include "eval/downstream.h"
+#include "eval/metrics.h"
+#include "models/gain_imputer.h"
+#include "models/mean_imputer.h"
+
+using namespace scis;
+
+int main(int argc, char** argv) {
+  double scale = 0.004;  // 4.9M * 0.004 ≈ 20k rows
+  long long epochs = 10;
+  FlagParser flags;
+  flags.AddDouble("scale", &scale, "row-count multiplier vs the paper");
+  flags.AddInt("epochs", &epochs, "imputer training epochs");
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::printf("%s\n", st.ToString().c_str());
+    return st.code() == StatusCode::kOutOfRange ? 0 : 1;
+  }
+
+  SyntheticSpec spec = WeatherSpec(scale);
+  LabeledDataset gen = GenerateSynthetic(spec);
+  std::printf(
+      "Weather-shaped dataset: %zu rows x %zu cols, %.1f%% missing; "
+      "regression target MAE scale ~%.0f\n",
+      gen.incomplete.num_rows(), gen.incomplete.num_cols(),
+      100.0 * gen.incomplete.MissingRate(), spec.label_scale);
+
+  MinMaxNormalizer norm;
+  Dataset train = norm.FitTransform(gen.incomplete);
+
+  DownstreamOptions ds;
+  ds.epochs = 30;  // §VI-D protocol: 30 epochs, lr 0.005, dropout 0.5
+
+  auto report = [&](const char* name, const Matrix& imputed) {
+    DownstreamResult r =
+        EvaluateDownstream(imputed, gen.labels, TaskKind::kRegression, ds);
+    std::printf("%-10s downstream MAE = %.3f\n", name, r.mae);
+  };
+
+  {
+    MeanImputer mean;
+    if (!mean.Fit(train).ok()) return 1;
+    report("Mean", mean.Impute(train));
+  }
+  {
+    GainImputerOptions o;
+    o.deep.epochs = static_cast<int>(epochs);
+    GainImputer gain(o);
+    if (!gain.Fit(train).ok()) return 1;
+    report("GAIN", gain.Impute(train));
+  }
+  {
+    GainImputerOptions o;
+    o.deep.epochs = 1;
+    GainImputer gain(o);
+    ScisOptions opts;
+    opts.validation_size = 800;
+    opts.initial_size = 1000;
+    opts.dim.epochs = static_cast<int>(epochs);
+    opts.dim.lambda = 130.0;
+    opts.sse.epsilon = 0.001;
+    Scis scis(opts);
+    Result<Matrix> imputed = scis.Run(gain, train);
+    if (!imputed.ok()) {
+      std::printf("SCIS failed: %s\n", imputed.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("SCIS-GAIN used %.2f%% of rows (n*=%zu)\n",
+                100.0 * scis.report().training_sample_rate,
+                scis.report().n_star);
+    report("SCIS-GAIN", *imputed);
+  }
+  return 0;
+}

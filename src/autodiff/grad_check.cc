@@ -1,0 +1,36 @@
+#include "autodiff/grad_check.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace scis {
+
+Matrix NumericGradient(const std::function<double(const Matrix&)>& f,
+                       const Matrix& x, double h) {
+  Matrix g(x.rows(), x.cols());
+  Matrix xp = x;
+  for (size_t k = 0; k < x.size(); ++k) {
+    const double orig = xp[k];
+    xp[k] = orig + h;
+    const double fp = f(xp);
+    xp[k] = orig - h;
+    const double fm = f(xp);
+    xp[k] = orig;
+    g[k] = (fp - fm) / (2.0 * h);
+  }
+  return g;
+}
+
+double MaxGradError(const std::function<double(const Matrix&)>& f,
+                    const Matrix& x, const Matrix& analytic_grad, double h) {
+  SCIS_CHECK(analytic_grad.SameShape(x));
+  Matrix num = NumericGradient(f, x, h);
+  double worst = 0.0;
+  for (size_t k = 0; k < x.size(); ++k) {
+    worst = std::max(worst, std::abs(num[k] - analytic_grad[k]));
+  }
+  return worst;
+}
+
+}  // namespace scis

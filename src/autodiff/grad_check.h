@@ -1,0 +1,25 @@
+// Numeric gradient checking: compares reverse-mode gradients against central
+// finite differences. Used by the test suite and by SSE validation to trust
+// the analytic MS-divergence gradient (Prop. 1).
+#ifndef SCIS_AUTODIFF_GRAD_CHECK_H_
+#define SCIS_AUTODIFF_GRAD_CHECK_H_
+
+#include <functional>
+
+#include "tensor/matrix.h"
+
+namespace scis {
+
+// f maps a leaf matrix to a scalar loss. Returns the max absolute difference
+// between analytic_grad and the central-difference gradient of f at x.
+double MaxGradError(const std::function<double(const Matrix&)>& f,
+                    const Matrix& x, const Matrix& analytic_grad,
+                    double h = 1e-5);
+
+// Finite-difference gradient of f at x.
+Matrix NumericGradient(const std::function<double(const Matrix&)>& f,
+                       const Matrix& x, double h = 1e-5);
+
+}  // namespace scis
+
+#endif  // SCIS_AUTODIFF_GRAD_CHECK_H_

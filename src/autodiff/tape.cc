@@ -1,0 +1,407 @@
+#include "autodiff/tape.h"
+
+#include <cmath>
+
+#include "tensor/sparse.h"
+
+namespace scis {
+
+const Matrix& Var::value() const { return tape_->value(*this); }
+const Matrix& Var::grad() const { return tape_->grad(*this); }
+
+namespace {
+uint64_t g_next_tape_id = 1;
+}
+
+Tape::Tape() : id_(g_next_tape_id++) {}
+
+Var Tape::Leaf(Matrix value) {
+  nodes_.push_back(NodeRec{std::move(value), Matrix(), false, true, {}, {}});
+  return Var(this, nodes_.size() - 1);
+}
+
+Var Tape::Constant(Matrix value) {
+  nodes_.push_back(NodeRec{std::move(value), Matrix(), false, false, {}, {}});
+  return Var(this, nodes_.size() - 1);
+}
+
+Var Tape::Node(Matrix value, std::vector<Var> parents,
+               std::function<void(Tape&, const Matrix& grad)> backward) {
+  bool needs_grad = false;
+  std::vector<size_t> pidx;
+  pidx.reserve(parents.size());
+  for (const Var& p : parents) {
+    SCIS_CHECK_MSG(p.tape() == this, "op mixes nodes from different tapes");
+    needs_grad = needs_grad || nodes_[p.index()].requires_grad;
+    pidx.push_back(p.index());
+  }
+  nodes_.push_back(NodeRec{std::move(value), Matrix(), false, needs_grad,
+                           std::move(pidx),
+                           needs_grad ? std::move(backward) : nullptr});
+  return Var(this, nodes_.size() - 1);
+}
+
+const Matrix& Tape::value(Var v) const {
+  SCIS_CHECK_LT(v.index(), nodes_.size());
+  return nodes_[v.index()].value;
+}
+
+const Matrix& Tape::grad(Var v) const {
+  SCIS_CHECK_LT(v.index(), nodes_.size());
+  const NodeRec& n = nodes_[v.index()];
+  static const Matrix kEmpty;
+  if (!n.grad_alive) {
+    // Zero gradient with the node's shape, allocated on demand.
+    const_cast<NodeRec&>(n).grad = Matrix(n.value.rows(), n.value.cols());
+    const_cast<NodeRec&>(n).grad_alive = true;
+  }
+  return n.grad;
+}
+
+bool Tape::requires_grad(Var v) const {
+  SCIS_CHECK_LT(v.index(), nodes_.size());
+  return nodes_[v.index()].requires_grad;
+}
+
+void Tape::AccumulateGrad(Var v, const Matrix& delta) {
+  NodeRec& n = nodes_[v.index()];
+  if (!n.requires_grad) return;
+  if (!n.grad_alive) {
+    n.grad = delta;
+    n.grad_alive = true;
+  } else {
+    AddInPlace(n.grad, delta);
+  }
+}
+
+void Tape::Backward(Var loss) {
+  SCIS_CHECK_MSG(loss.tape() == this, "loss from another tape");
+  const NodeRec& ln = nodes_[loss.index()];
+  SCIS_CHECK_MSG(ln.value.rows() == 1 && ln.value.cols() == 1,
+                 "Backward target must be scalar");
+  // Reset gradient liveness from any previous pass.
+  for (NodeRec& n : nodes_) n.grad_alive = false;
+  AccumulateGrad(loss, Matrix::Ones(1, 1));
+  for (size_t k = loss.index() + 1; k-- > 0;) {
+    NodeRec& n = nodes_[k];
+    if (!n.grad_alive || !n.backward) continue;
+    n.backward(*this, n.grad);
+  }
+}
+
+void Tape::Clear() { nodes_.clear(); }
+
+namespace {
+// Shorthand for building a node whose backward only touches one parent.
+Var Unary(Var a, Matrix value,
+          std::function<Matrix(const Matrix& grad)> grad_a) {
+  Tape* t = a.tape();
+  return t->Node(std::move(value), {a},
+                 [a, grad_a](Tape& tape, const Matrix& g) {
+                   tape.AccumulateGrad(a, grad_a(g));
+                 });
+}
+}  // namespace
+
+Var MatMul(Var a, Var b) {
+  Tape* t = a.tape();
+  Matrix out = MatMul(a.value(), b.value());
+  return t->Node(std::move(out), {a, b}, [a, b](Tape& tape, const Matrix& g) {
+    if (tape.requires_grad(a)) tape.AccumulateGrad(a, MatMulTransB(g, b.value()));
+    if (tape.requires_grad(b)) tape.AccumulateGrad(b, MatMulTransA(a.value(), g));
+  });
+}
+
+Var Add(Var a, Var b) {
+  Tape* t = a.tape();
+  return t->Node(Add(a.value(), b.value()), {a, b},
+                 [a, b](Tape& tape, const Matrix& g) {
+                   tape.AccumulateGrad(a, g);
+                   tape.AccumulateGrad(b, g);
+                 });
+}
+
+Var Sub(Var a, Var b) {
+  Tape* t = a.tape();
+  return t->Node(Sub(a.value(), b.value()), {a, b},
+                 [a, b](Tape& tape, const Matrix& g) {
+                   tape.AccumulateGrad(a, g);
+                   tape.AccumulateGrad(b, MulScalar(g, -1.0));
+                 });
+}
+
+Var Mul(Var a, Var b) {
+  Tape* t = a.tape();
+  return t->Node(Mul(a.value(), b.value()), {a, b},
+                 [a, b](Tape& tape, const Matrix& g) {
+                   if (tape.requires_grad(a))
+                     tape.AccumulateGrad(a, Mul(g, b.value()));
+                   if (tape.requires_grad(b))
+                     tape.AccumulateGrad(b, Mul(g, a.value()));
+                 });
+}
+
+Var AddScalar(Var a, double s) {
+  return Unary(a, AddScalar(a.value(), s),
+               [](const Matrix& g) { return g; });
+}
+
+Var MulScalar(Var a, double s) {
+  return Unary(a, MulScalar(a.value(), s),
+               [s](const Matrix& g) { return MulScalar(g, s); });
+}
+
+Var AddRowBroadcast(Var a, Var row) {
+  Tape* t = a.tape();
+  return t->Node(AddRowBroadcast(a.value(), row.value()), {a, row},
+                 [a, row](Tape& tape, const Matrix& g) {
+                   tape.AccumulateGrad(a, g);
+                   if (tape.requires_grad(row)) tape.AccumulateGrad(row, ColSum(g));
+                 });
+}
+
+Var Sigmoid(Var a) {
+  Matrix y = Sigmoid(a.value());
+  Matrix y_copy = y;  // captured for backward: dy/dx = y(1-y)
+  return Unary(a, std::move(y), [y_copy](const Matrix& g) {
+    Matrix d = Mul(y_copy, Map(y_copy, [](double v) { return 1.0 - v; }));
+    return Mul(g, d);
+  });
+}
+
+Var Relu(Var a) {
+  Matrix mask = Map(a.value(), [](double v) { return v > 0 ? 1.0 : 0.0; });
+  return Unary(a, Relu(a.value()),
+               [mask](const Matrix& g) { return Mul(g, mask); });
+}
+
+Var Tanh(Var a) {
+  Matrix y = Tanh(a.value());
+  Matrix y_copy = y;
+  return Unary(a, std::move(y), [y_copy](const Matrix& g) {
+    Matrix d = Map(y_copy, [](double v) { return 1.0 - v * v; });
+    return Mul(g, d);
+  });
+}
+
+Var Exp(Var a) {
+  Matrix y = Exp(a.value());
+  Matrix y_copy = y;
+  return Unary(a, std::move(y),
+               [y_copy](const Matrix& g) { return Mul(g, y_copy); });
+}
+
+Var Log(Var a) {
+  Matrix x = a.value();
+  return Unary(a, Log(a.value()), [x](const Matrix& g) {
+    Matrix inv = Map(x, [](double v) { return 1.0 / std::max(v, 1e-12); });
+    return Mul(g, inv);
+  });
+}
+
+Var Softplus(Var a) {
+  Matrix y = Map(a.value(), [](double v) {
+    // log(1+e^v), overflow-safe.
+    return v > 30 ? v : std::log1p(std::exp(v));
+  });
+  Matrix d = Sigmoid(a.value());
+  return Unary(a, std::move(y),
+               [d](const Matrix& g) { return Mul(g, d); });
+}
+
+Var Square(Var a) {
+  Matrix x = a.value();
+  return Unary(a, Square(a.value()), [x](const Matrix& g) {
+    return Mul(g, MulScalar(x, 2.0));
+  });
+}
+
+Var ConcatCols(Var a, Var b) {
+  Tape* t = a.tape();
+  const size_t ca = a.value().cols();
+  return t->Node(ConcatCols(a.value(), b.value()), {a, b},
+                 [a, b, ca](Tape& tape, const Matrix& g) {
+                   if (tape.requires_grad(a))
+                     tape.AccumulateGrad(a, g.ColRange(0, ca));
+                   if (tape.requires_grad(b))
+                     tape.AccumulateGrad(b, g.ColRange(ca, g.cols()));
+                 });
+}
+
+Var ColRange(Var a, size_t c0, size_t c1) {
+  const size_t cols = a.value().cols();
+  return Unary(a, a.value().ColRange(c0, c1),
+               [c0, c1, cols](const Matrix& g) {
+                 Matrix full(g.rows(), cols);
+                 for (size_t i = 0; i < g.rows(); ++i)
+                   for (size_t j = c0; j < c1; ++j)
+                     full(i, j) = g(i, j - c0);
+                 return full;
+               });
+}
+
+Var Sum(Var a) {
+  const size_t r = a.value().rows(), c = a.value().cols();
+  Matrix out(1, 1);
+  out(0, 0) = Sum(a.value());
+  return Unary(a, std::move(out), [r, c](const Matrix& g) {
+    return Matrix::Full(r, c, g(0, 0));
+  });
+}
+
+Var Mean(Var a) {
+  const size_t r = a.value().rows(), c = a.value().cols();
+  const double inv = 1.0 / static_cast<double>(r * c);
+  Matrix out(1, 1);
+  out(0, 0) = Mean(a.value());
+  return Unary(a, std::move(out), [r, c, inv](const Matrix& g) {
+    return Matrix::Full(r, c, g(0, 0) * inv);
+  });
+}
+
+Var RowSum(Var a) {
+  const size_t c = a.value().cols();
+  return Unary(a, RowSum(a.value()), [c](const Matrix& g) {
+    Matrix full(g.rows(), c);
+    for (size_t i = 0; i < g.rows(); ++i) {
+      const double gi = g(i, 0);
+      double* row = full.row_data(i);
+      for (size_t j = 0; j < c; ++j) row[j] = gi;
+    }
+    return full;
+  });
+}
+
+Var MulColBroadcast(Var a, Var col) {
+  Tape* t = a.tape();
+  const Matrix& av = a.value();
+  const Matrix& cv = col.value();
+  SCIS_CHECK(cv.cols() == 1 && cv.rows() == av.rows());
+  Matrix out = av;
+  for (size_t i = 0; i < out.rows(); ++i) {
+    double* row = out.row_data(i);
+    for (size_t j = 0; j < out.cols(); ++j) row[j] *= cv(i, 0);
+  }
+  return t->Node(std::move(out), {a, col},
+                 [a, col](Tape& tape, const Matrix& g) {
+                   if (tape.requires_grad(a)) {
+                     Matrix ga = g;
+                     const Matrix& c2 = col.value();
+                     for (size_t i = 0; i < ga.rows(); ++i) {
+                       double* row = ga.row_data(i);
+                       for (size_t j = 0; j < ga.cols(); ++j)
+                         row[j] *= c2(i, 0);
+                     }
+                     tape.AccumulateGrad(a, ga);
+                   }
+                   if (tape.requires_grad(col)) {
+                     tape.AccumulateGrad(col, RowSum(Mul(g, a.value())));
+                   }
+                 });
+}
+
+Var RowLogSumExp(Var a) {
+  const Matrix& av = a.value();
+  const size_t n = av.rows(), k = av.cols();
+  Matrix out(n, 1);
+  Matrix softmax(n, k);  // cached for backward
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = av.row_data(i);
+    double mx = row[0];
+    for (size_t j = 1; j < k; ++j) mx = std::max(mx, row[j]);
+    double acc = 0.0;
+    for (size_t j = 0; j < k; ++j) acc += std::exp(row[j] - mx);
+    out(i, 0) = mx + std::log(acc);
+    for (size_t j = 0; j < k; ++j) {
+      softmax(i, j) = std::exp(row[j] - mx) / acc;
+    }
+  }
+  return Unary(a, std::move(out), [softmax](const Matrix& g) {
+    Matrix ga = softmax;
+    for (size_t i = 0; i < ga.rows(); ++i) {
+      const double gi = g(i, 0);
+      double* row = ga.row_data(i);
+      for (size_t j = 0; j < ga.cols(); ++j) row[j] *= gi;
+    }
+    return ga;
+  });
+}
+
+Var WeightedMseLoss(Var pred, Var target, Var weight) {
+  Tape* t = pred.tape();
+  const Matrix& p = pred.value();
+  const Matrix& y = target.value();
+  const Matrix& w = weight.value();
+  SCIS_CHECK(p.SameShape(y) && p.SameShape(w));
+  double wsum = Sum(w);
+  if (wsum <= 0) wsum = 1.0;  // fully-missing batch: zero loss, zero grad
+  Matrix diff = Sub(p, y);
+  Matrix wdiff = Mul(w, diff);
+  Matrix out(1, 1);
+  out(0, 0) = Dot(wdiff, diff) / wsum;
+  return t->Node(std::move(out), {pred, target, weight},
+                 [pred, target, wdiff, wsum](Tape& tape, const Matrix& g) {
+                   // d/dp [ sum w (p-y)^2 / wsum ] = 2 w (p-y) / wsum
+                   Matrix gp = MulScalar(wdiff, 2.0 * g(0, 0) / wsum);
+                   if (tape.requires_grad(pred)) tape.AccumulateGrad(pred, gp);
+                   if (tape.requires_grad(target))
+                     tape.AccumulateGrad(target, MulScalar(gp, -1.0));
+                 });
+}
+
+Var WeightedBceLoss(Var p, Var labels, Var weight) {
+  Tape* t = p.tape();
+  constexpr double kEps = 1e-8;
+  const Matrix& pv = p.value();
+  const Matrix& yv = labels.value();
+  const Matrix& wv = weight.value();
+  SCIS_CHECK(pv.SameShape(yv) && pv.SameShape(wv));
+  double wsum = Sum(wv);
+  if (wsum <= 0) wsum = 1.0;
+  Matrix pc = Clamp(pv, kEps, 1.0 - kEps);
+  double acc = 0.0;
+  for (size_t k = 0; k < pc.size(); ++k) {
+    const double pk = pc.data()[k], yk = yv.data()[k], wk = wv.data()[k];
+    acc -= wk * (yk * std::log(pk) + (1.0 - yk) * std::log(1.0 - pk));
+  }
+  Matrix out(1, 1);
+  out(0, 0) = acc / wsum;
+  return t->Node(
+      std::move(out), {p, labels, weight},
+      [p, pc, yv, wv, wsum](Tape& tape, const Matrix& g) {
+        if (!tape.requires_grad(p)) return;
+        Matrix gp(pc.rows(), pc.cols());
+        for (size_t k = 0; k < pc.size(); ++k) {
+          const double pk = pc.data()[k], yk = yv.data()[k],
+                       wk = wv.data()[k];
+          gp.data()[k] =
+              g(0, 0) * wk * (pk - yk) / (pk * (1.0 - pk)) / wsum;
+        }
+        tape.AccumulateGrad(p, gp);
+      });
+}
+
+Var SparseMatMul(const SparseMatrix& a, Var x) {
+  Tape* t = x.tape();
+  const SparseMatrix* ap = &a;
+  return t->Node(a.MatMulDense(x.value()), {x},
+                 [ap, x](Tape& tape, const Matrix& g) {
+                   if (tape.requires_grad(x))
+                     tape.AccumulateGrad(x, ap->TransposeMatMulDense(g));
+                 });
+}
+
+Var CustomScalarOp(Var input, double value, std::function<Matrix()> grad_fn) {
+  Tape* t = input.tape();
+  Matrix out(1, 1);
+  out(0, 0) = value;
+  return t->Node(std::move(out), {input},
+                 [input, grad_fn](Tape& tape, const Matrix& g) {
+                   if (!tape.requires_grad(input)) return;
+                   Matrix gi = grad_fn();
+                   MulScalarInPlace(gi, g(0, 0));
+                   tape.AccumulateGrad(input, gi);
+                 });
+}
+
+}  // namespace scis

@@ -1,0 +1,145 @@
+// Reverse-mode automatic differentiation over matrices.
+//
+// A Tape owns a DAG of nodes, each holding a Matrix value and (lazily) a
+// Matrix gradient. Var is a cheap handle (tape pointer + node index).
+// Operations are free functions overloading the names in tensor/matrix_ops.h;
+// they record a backward closure that scatters the node's gradient into its
+// parents. Backward() seeds a scalar loss with 1 and walks nodes in reverse
+// creation order (creation order is a topological order by construction).
+//
+// The tape is rebuilt every training step (define-by-run), matching how the
+// paper's models are trained in PyTorch. A CustomOp hook lets the masking
+// Sinkhorn divergence inject its analytic gradient (Prop. 1) into the graph.
+#ifndef SCIS_AUTODIFF_TAPE_H_
+#define SCIS_AUTODIFF_TAPE_H_
+
+#include <functional>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "tensor/matrix_ops.h"
+
+namespace scis {
+
+class Tape;
+
+// Handle to a node on a Tape. Valid until Tape::Clear()/destruction.
+class Var {
+ public:
+  Var() : tape_(nullptr), index_(0) {}
+  Var(Tape* tape, size_t index) : tape_(tape), index_(index) {}
+
+  bool valid() const { return tape_ != nullptr; }
+  Tape* tape() const { return tape_; }
+  size_t index() const { return index_; }
+
+  const Matrix& value() const;
+  const Matrix& grad() const;
+  size_t rows() const { return value().rows(); }
+  size_t cols() const { return value().cols(); }
+
+ private:
+  Tape* tape_;
+  size_t index_;
+};
+
+class Tape {
+ public:
+  Tape();
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  // Process-unique identifier. Consumers that cache per-tape state (e.g.
+  // ParamStore bindings) must key on this, not the Tape address — stack
+  // tapes are routinely destroyed and re-created at the same address.
+  uint64_t id() const { return id_; }
+
+  // Differentiable leaf (model parameters, inputs we differentiate w.r.t.).
+  Var Leaf(Matrix value);
+  // Non-differentiable leaf (data batches, masks, hints).
+  Var Constant(Matrix value);
+
+  // Interior node. `backward` is invoked with the node's accumulated
+  // gradient and must add the parents' contributions via AccumulateGrad.
+  Var Node(Matrix value, std::vector<Var> parents,
+           std::function<void(Tape&, const Matrix& grad)> backward);
+
+  const Matrix& value(Var v) const;
+  // Gradient of the last Backward() target w.r.t. v (zeros if untouched).
+  const Matrix& grad(Var v) const;
+
+  // Adds `delta` into v's gradient accumulator (used by backward closures).
+  void AccumulateGrad(Var v, const Matrix& delta);
+  bool requires_grad(Var v) const;
+
+  // Runs reverse-mode accumulation from `loss` (must be 1x1).
+  void Backward(Var loss);
+
+  // Drops all nodes; outstanding Vars become invalid.
+  void Clear();
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct NodeRec {
+    Matrix value;
+    Matrix grad;        // allocated lazily in Backward
+    bool grad_alive;    // whether grad has been touched this pass
+    bool requires_grad;
+    std::vector<size_t> parents;
+    std::function<void(Tape&, const Matrix& grad)> backward;
+  };
+  uint64_t id_;
+  std::vector<NodeRec> nodes_;
+};
+
+// ---- differentiable operations (parallel to tensor/matrix_ops.h) ----
+Var MatMul(Var a, Var b);
+Var Add(Var a, Var b);
+Var Sub(Var a, Var b);
+Var Mul(Var a, Var b);           // Hadamard
+Var AddScalar(Var a, double s);
+Var MulScalar(Var a, double s);
+// bias add: row is (1, a.cols()); gradient of row is the column sum.
+Var AddRowBroadcast(Var a, Var row);
+Var Sigmoid(Var a);
+Var Relu(Var a);
+Var Tanh(Var a);
+Var Exp(Var a);
+Var Log(Var a);                  // inputs clamped away from 0
+Var Softplus(Var a);
+Var Square(Var a);
+Var ConcatCols(Var a, Var b);
+Var ColRange(Var a, size_t c0, size_t c1);
+Var Sum(Var a);                  // -> (1,1)
+Var Mean(Var a);                 // -> (1,1)
+Var RowSum(Var a);               // (n,d) -> (n,1)
+// Hadamard with a per-row scalar: a (n,d) ⊙ col (n,1) broadcast.
+Var MulColBroadcast(Var a, Var col);
+// Per-row log-sum-exp: (n,k) -> (n,1); backward is the row softmax. The
+// reduction behind importance-weighted (IWAE/MIWAE) bounds.
+Var RowLogSumExp(Var a);
+
+// Mean squared error restricted to entries where weight==1 (mask); weight is
+// a constant matrix of the same shape. Divides by the weight sum.
+Var WeightedMseLoss(Var pred, Var target, Var weight);
+// Binary cross entropy of probabilities `p` against labels, weighted; the
+// GAIN discriminator objective. p is clamped to (eps, 1-eps).
+Var WeightedBceLoss(Var p, Var labels, Var weight);
+
+// Injects an externally computed scalar value whose gradient w.r.t. `input`
+// is supplied by `grad_fn` (evaluated lazily at backward time, scaled by the
+// incoming gradient). Used by the MS-divergence loss.
+Var CustomScalarOp(Var input, double value,
+                   std::function<Matrix()> grad_fn);
+
+class SparseMatrix;  // tensor/sparse.h
+
+// y = A x for a constant sparse A (no gradient into A); the GCN
+// message-passing step in the GINN generator. The caller must keep `a`
+// alive until Backward() completes.
+Var SparseMatMul(const SparseMatrix& a, Var x);
+
+}  // namespace scis
+
+#endif  // SCIS_AUTODIFF_TAPE_H_

@@ -1,0 +1,47 @@
+// Invariant-checking macros. SCIS_CHECK fires in all build types and is used
+// for programming errors (bad indices, shape mismatches) that cannot be
+// produced by user input; user-input validation goes through Status instead.
+#ifndef SCIS_COMMON_CHECK_H_
+#define SCIS_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace scis::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "SCIS_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace scis::internal
+
+#define SCIS_CHECK(expr)                                               \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::scis::internal::CheckFailed(__FILE__, __LINE__, #expr, "");    \
+  } while (false)
+
+#define SCIS_CHECK_MSG(expr, msg)                                      \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::scis::internal::CheckFailed(__FILE__, __LINE__, #expr, (msg)); \
+  } while (false)
+
+#define SCIS_CHECK_EQ(a, b) SCIS_CHECK((a) == (b))
+#define SCIS_CHECK_NE(a, b) SCIS_CHECK((a) != (b))
+#define SCIS_CHECK_LT(a, b) SCIS_CHECK((a) < (b))
+#define SCIS_CHECK_LE(a, b) SCIS_CHECK((a) <= (b))
+#define SCIS_CHECK_GT(a, b) SCIS_CHECK((a) > (b))
+#define SCIS_CHECK_GE(a, b) SCIS_CHECK((a) >= (b))
+
+// Debug-only check for hot loops.
+#ifdef NDEBUG
+#define SCIS_DCHECK(expr) ((void)0)
+#else
+#define SCIS_DCHECK(expr) SCIS_CHECK(expr)
+#endif
+
+#endif  // SCIS_COMMON_CHECK_H_

@@ -1,0 +1,100 @@
+#include "common/flags.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace scis {
+
+void FlagParser::AddDouble(const std::string& name, double* target,
+                           const std::string& help) {
+  flags_[name] = Flag{Kind::kDouble, target, help};
+}
+void FlagParser::AddInt(const std::string& name, long long* target,
+                        const std::string& help) {
+  flags_[name] = Flag{Kind::kInt, target, help};
+}
+void FlagParser::AddString(const std::string& name, std::string* target,
+                           const std::string& help) {
+  flags_[name] = Flag{Kind::kString, target, help};
+}
+void FlagParser::AddBool(const std::string& name, bool* target,
+                         const std::string& help) {
+  flags_[name] = Flag{Kind::kBool, target, help};
+}
+
+Status FlagParser::Set(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name);
+  }
+  Flag& f = it->second;
+  switch (f.kind) {
+    case Kind::kDouble: {
+      SCIS_ASSIGN_OR_RETURN(*static_cast<double*>(f.target),
+                            ParseDouble(value));
+      return Status::OK();
+    }
+    case Kind::kInt: {
+      SCIS_ASSIGN_OR_RETURN(*static_cast<long long*>(f.target),
+                            ParseInt(value));
+      return Status::OK();
+    }
+    case Kind::kString:
+      *static_cast<std::string*>(f.target) = value;
+      return Status::OK();
+    case Kind::kBool:
+      if (EqualsIgnoreCase(value, "true") || value == "1") {
+        *static_cast<bool*>(f.target) = true;
+      } else if (EqualsIgnoreCase(value, "false") || value == "0") {
+        *static_cast<bool*>(f.target) = false;
+      } else {
+        return Status::InvalidArgument("bad bool for --" + name + ": " +
+                                       value);
+      }
+      return Status::OK();
+  }
+  return Status::Internal("unreachable");
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(Usage(argv[0]).c_str(), stdout);
+      return Status::OutOfRange("help requested");
+    }
+    if (!StartsWith(arg, "--")) {
+      return Status::InvalidArgument("unexpected argument: " + arg);
+    }
+    arg = arg.substr(2);
+    size_t eq = arg.find('=');
+    std::string name, value;
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      auto it = flags_.find(name);
+      if (it != flags_.end() && it->second.kind == Kind::kBool) {
+        value = "true";  // bare --flag form for booleans
+      } else {
+        if (i + 1 >= argc)
+          return Status::InvalidArgument("missing value for --" + name);
+        value = argv[++i];
+      }
+    }
+    SCIS_RETURN_NOT_OK(Set(name, value));
+  }
+  return Status::OK();
+}
+
+std::string FlagParser::Usage(const std::string& program) const {
+  std::string out = "Usage: " + program + " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    out += "  --" + name + "  " + flag.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace scis

@@ -1,0 +1,46 @@
+// Tiny command-line flag parser for the bench/example binaries.
+// Accepts "--name=value" and "--name value"; unknown flags are an error so
+// typos in experiment sweeps fail loudly instead of silently using defaults.
+#ifndef SCIS_COMMON_FLAGS_H_
+#define SCIS_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace scis {
+
+class FlagParser {
+ public:
+  // Registration returns a pointer whose pointee is updated by Parse().
+  void AddDouble(const std::string& name, double* target,
+                 const std::string& help);
+  void AddInt(const std::string& name, long long* target,
+              const std::string& help);
+  void AddString(const std::string& name, std::string* target,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool* target, const std::string& help);
+
+  // Parses argv; on "--help" prints usage and returns OutOfRange so callers
+  // can exit cleanly.
+  Status Parse(int argc, char** argv);
+
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Kind { kDouble, kInt, kString, kBool };
+  struct Flag {
+    Kind kind;
+    void* target;
+    std::string help;
+  };
+  Status Set(const std::string& name, const std::string& value);
+
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace scis
+
+#endif  // SCIS_COMMON_FLAGS_H_

@@ -1,0 +1,43 @@
+// Minimal leveled logger writing to stderr. Not thread-safe beyond the
+// atomicity of a single fprintf; the library is single-threaded by design.
+#ifndef SCIS_COMMON_LOGGING_H_
+#define SCIS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace scis {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Global log threshold; messages below it are dropped. Default kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();  // emits the accumulated message
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace scis
+
+#define SCIS_LOG(level)                                        \
+  ::scis::internal::LogMessage(::scis::LogLevel::k##level,     \
+                               __FILE__, __LINE__)
+
+#endif  // SCIS_COMMON_LOGGING_H_

@@ -1,0 +1,138 @@
+// Status / Result error-handling primitives, in the style of Apache Arrow
+// and RocksDB: fallible operations at API boundaries return a Status (or a
+// Result<T> carrying a value), never throw across module boundaries.
+#ifndef SCIS_COMMON_STATUS_H_
+#define SCIS_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace scis {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kIoError,
+  kNotImplemented,
+  kInternal,
+};
+
+// Returns a short human-readable name for `code` ("OK", "Invalid argument"...).
+const char* StatusCodeToString(StatusCode code);
+
+// A Status holds either success (kOk) or an error code plus message.
+// Cheap to copy in the OK case (no allocation).
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  // "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : state_(std::make_shared<State>(State{code, std::move(msg)})) {}
+
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<State> state_;  // null == OK
+};
+
+// Result<T> carries either a T or an error Status. Accessing the value of an
+// errored Result aborts (programming error), mirroring arrow::Result.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}       // NOLINT(runtime/explicit)
+  Result(Status status) : v_(std::move(status)) { // NOLINT(runtime/explicit)
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(v_);
+  }
+
+  const T& value() const& { return std::get<T>(v_); }
+  T& value() & { return std::get<T>(v_); }
+  T&& value() && { return std::get<T>(std::move(v_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value, or `fallback` when errored.
+  T ValueOr(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+// Propagates an error Status from an expression, Arrow-style.
+#define SCIS_RETURN_NOT_OK(expr)                    \
+  do {                                              \
+    ::scis::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                      \
+  } while (false)
+
+// Assigns the value of a Result expression or propagates its error.
+#define SCIS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define SCIS_ASSIGN_OR_RETURN(lhs, expr) \
+  SCIS_ASSIGN_OR_RETURN_IMPL(SCIS_CONCAT_(_res_, __LINE__), lhs, expr)
+
+#define SCIS_CONCAT_INNER_(a, b) a##b
+#define SCIS_CONCAT_(a, b) SCIS_CONCAT_INNER_(a, b)
+
+}  // namespace scis
+
+#endif  // SCIS_COMMON_STATUS_H_

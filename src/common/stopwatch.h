@@ -1,0 +1,29 @@
+// Wall-clock stopwatch used by the experiment harness to report training
+// time, matching the paper's "Time (s)" columns.
+#ifndef SCIS_COMMON_STOPWATCH_H_
+#define SCIS_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace scis {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace scis
+
+#endif  // SCIS_COMMON_STOPWATCH_H_

@@ -1,0 +1,37 @@
+// Small string helpers shared by CSV parsing and the CLI flag parser.
+#ifndef SCIS_COMMON_STRING_UTIL_H_
+#define SCIS_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace scis {
+
+// Splits `s` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+// Parses a double; empty / "NA" / "nan" / "null" (case-insensitive) parse as
+// missing and return NotFound so callers can distinguish missing from error.
+Result<double> ParseDouble(std::string_view s);
+
+// Parses a non-negative integer.
+Result<long long> ParseInt(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace scis
+
+#endif  // SCIS_COMMON_STRING_UTIL_H_

@@ -1,0 +1,68 @@
+#include "core/scis.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "data/sampler.h"
+
+namespace scis {
+
+Scis::Scis(ScisOptions opts) : opts_(opts) {}
+
+Result<Matrix> Scis::Run(GenerativeImputer& model, const Dataset& data) {
+  const size_t n = data.num_rows();
+  if (n < 4) return Status::InvalidArgument("dataset too small for SCIS");
+  const size_t nv = std::min(opts_.validation_size, n / 4);
+  const size_t n0 = std::min(opts_.initial_size, n - nv);
+  if (nv == 0 || n0 == 0) {
+    return Status::InvalidArgument("validation or initial split is empty");
+  }
+  report_ = ScisReport{};
+  Stopwatch total;
+  Rng rng(opts_.seed);
+
+  // Line 1: disjoint validation / initial samples.
+  ValidationSplit split = SplitValidation(n, nv, rng);
+  Dataset validation = data.GatherRows(split.validation);
+  std::vector<size_t> initial_idx = SampleFrom(split.rest, n0, rng);
+  Dataset initial = data.GatherRows(initial_idx);
+
+  // Line 2: DIM-train M0 on the initial set.
+  DimTrainer dim(opts_.dim);
+  Stopwatch watch;
+  SCIS_RETURN_NOT_OK(dim.Train(model, initial));
+  report_.dim_initial_seconds = watch.ElapsedSeconds();
+
+  // Line 3: SSE minimum size.
+  SseOptions sse_opts = opts_.sse;
+  sse_opts.lambda = opts_.dim.lambda;  // the divergence that trained M0
+  SseEstimator sse(sse_opts);
+  watch.Restart();
+  SCIS_RETURN_NOT_OK(sse.Prepare(model, initial));
+  SCIS_ASSIGN_OR_RETURN(SseResult sres,
+                        sse.EstimateMinimumSize(model, n, validation, n0));
+  report_.sse_seconds = watch.ElapsedSeconds();
+  report_.sse_result = sres;
+  report_.n_star = sres.n_star;
+  report_.training_sample_rate =
+      static_cast<double>(sres.n_star) / static_cast<double>(n);
+
+  // Lines 4-5: retrain (warm-started) on the size-n* sample when n* > n0.
+  if (sres.n_star > n0) {
+    std::vector<size_t> star_idx =
+        sres.n_star >= split.rest.size()
+            ? split.rest
+            : SampleFrom(split.rest, sres.n_star, rng);
+    Dataset star = data.GatherRows(star_idx);
+    watch.Restart();
+    SCIS_RETURN_NOT_OK(dim.Train(model, star));
+    report_.dim_final_seconds = watch.ElapsedSeconds();
+  }
+
+  // Lines 6-7: impute the whole dataset with the optimized model.
+  Matrix imputed = model.Impute(data);
+  report_.total_seconds = total.ElapsedSeconds();
+  return imputed;
+}
+
+}  // namespace scis

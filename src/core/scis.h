@@ -1,0 +1,55 @@
+// SCIS — the end-to-end scalable imputation system (Algorithm 1).
+//
+//   1. Sample a size-Nv validation set and a size-n0 initial set.
+//   2. DIM-train the initial model M0 on the initial set (MS divergence).
+//   3. SSE-estimate the minimum sample size n* meeting (ε, α).
+//   4. If n* > n0, DIM-retrain (warm-started) on a size-n* sample.
+//   5. Impute the full dataset with Eq. 1.
+#ifndef SCIS_CORE_SCIS_H_
+#define SCIS_CORE_SCIS_H_
+
+#include <memory>
+
+#include "core/dim.h"
+#include "core/sse.h"
+#include "data/dataset.h"
+
+namespace scis {
+
+struct ScisOptions {
+  size_t validation_size = 1000;  // Nv
+  size_t initial_size = 500;      // n0 (§VI: dataset-dependent)
+  DimOptions dim;
+  SseOptions sse;
+  uint64_t seed = 41;
+};
+
+struct ScisReport {
+  size_t n_star = 0;
+  double training_sample_rate = 0.0;  // R_t = n*/N (the paper's metric)
+  double dim_initial_seconds = 0.0;
+  double sse_seconds = 0.0;
+  double dim_final_seconds = 0.0;
+  double total_seconds = 0.0;
+  SseResult sse_result;
+};
+
+class Scis {
+ public:
+  explicit Scis(ScisOptions opts = {});
+
+  // Trains `model` under SCIS on the (normalized, incomplete) dataset and
+  // returns the imputed matrix (Eq. 1). The model is trained in place.
+  Result<Matrix> Run(GenerativeImputer& model, const Dataset& data);
+
+  const ScisReport& report() const { return report_; }
+  const ScisOptions& options() const { return opts_; }
+
+ private:
+  ScisOptions opts_;
+  ScisReport report_;
+};
+
+}  // namespace scis
+
+#endif  // SCIS_CORE_SCIS_H_

@@ -1,0 +1,248 @@
+#include "core/sse.h"
+
+#include <cmath>
+
+#include "common/stopwatch.h"
+#include "data/sampler.h"
+#include "ot/ms_loss.h"
+#include "tensor/linalg.h"
+
+namespace scis {
+
+double SseZeta(double lambda, size_t d) {
+  SCIS_CHECK_GT(lambda, 0.0);
+  const double half_d = static_cast<double>(d / 2);
+  return std::exp(6.0 / lambda) *
+         std::pow(1.0 + 1.0 / std::pow(lambda, half_d), 2.0);
+}
+
+double SseThreshold(double alpha, double beta, int k) {
+  SCIS_CHECK(beta > 0.0 && beta <= alpha && alpha <= 1.0);
+  SCIS_CHECK_GT(k, 0);
+  const double t = (1.0 - alpha) / (1.0 - beta) +
+                   std::sqrt(-std::log(beta) / (2.0 * k));
+  // The §VI constants (k=20, β=0.01) push the printed bound above 1; clamp
+  // to "all k samples must pass" (see EXPERIMENTS.md).
+  return std::min(t, 1.0);
+}
+
+SseEstimator::SseEstimator(SseOptions opts) : opts_(opts), rng_(opts.seed) {}
+
+Status SseEstimator::Prepare(GenerativeImputer& model,
+                             const Dataset& curvature_data) {
+  ParamStore& store = model.generator_params();
+  theta0_ = store.ToFlat();
+  const size_t p = theta0_.size();
+  if (p == 0) return Status::InvalidArgument("model has no parameters");
+
+  // Hutchinson estimate of diag(Jᵀ J) for the masked reconstruction
+  // Jacobian J at θ0 (the paper's Gauss–Newton H, diagonal): for random
+  // ±1 cell vectors v, E[(Jᵀ(v ⊙ m))_j²] = Σ_cells m·J².  Normalized per
+  // probed row so H matches Theorem 1's per-sample convention.
+  h_diag_.assign(p, 0.0);
+  const bool full_gn = opts_.full_gauss_newton;
+  if (full_gn && p > opts_.full_gn_max_params) {
+    return Status::InvalidArgument(
+        "full Gauss-Newton requested for " + std::to_string(p) +
+        " parameters (cap " + std::to_string(opts_.full_gn_max_params) +
+        "); use the diagonal mode");
+  }
+  Matrix h_full;
+  if (full_gn) h_full = Matrix(p, p);
+  const size_t n = curvature_data.num_rows();
+  const size_t bs = std::min(opts_.curvature_batch_size, n);
+  if (bs < 2) return Status::InvalidArgument("curvature data too small");
+  size_t probed_rows = 0;
+  for (int b = 0; b < opts_.curvature_batches; ++b) {
+    std::vector<size_t> idx = rng_.SampleWithoutReplacement(n, bs);
+    Matrix x = curvature_data.values().GatherRows(idx);
+    Matrix m = curvature_data.mask().GatherRows(idx);
+    // Rademacher probe restricted to observed cells (the T(m_i) factor).
+    Matrix v(bs, x.cols());
+    for (size_t k = 0; k < v.size(); ++k) {
+      v.data()[k] = m.data()[k] * (rng_.Bernoulli(0.5) ? 1.0 : -1.0);
+    }
+    Tape tape;
+    Var xbar = model.ReconstructOnTape(tape, x, m, /*train=*/false);
+    Var probe = Sum(Mul(xbar, tape.Constant(std::move(v))));
+    tape.Backward(probe);
+    std::vector<Matrix> grads = store.CollectGrads();
+    // Flatten the probe gradient g = Jᵀ(v ⊙ m).
+    std::vector<double> flat;
+    flat.reserve(p);
+    for (const Matrix& g : grads) {
+      flat.insert(flat.end(), g.data(), g.data() + g.size());
+    }
+    for (size_t i = 0; i < p; ++i) h_diag_[i] += flat[i] * flat[i];
+    if (full_gn) {
+      // E[g gᵀ] = Jᵀ J (Rademacher probes): accumulate the outer product.
+      for (size_t i = 0; i < p; ++i) {
+        if (flat[i] == 0.0) continue;
+        double* row = h_full.row_data(i);
+        for (size_t j = 0; j < p; ++j) row[j] += flat[i] * flat[j];
+      }
+    }
+    probed_rows += bs;
+  }
+  double mean_h = 0.0;
+  for (double& h : h_diag_) {
+    h /= static_cast<double>(probed_rows);
+    mean_h += h;
+  }
+  mean_h /= static_cast<double>(p);
+  // Ridge floor so dead parameters do not explode the sampled variance.
+  const double floor = std::max(mean_h * 1e-3, 1e-12);
+  for (double& h : h_diag_) h = std::max(h, floor);
+
+  h_chol_ = Matrix();
+  if (full_gn) {
+    MulScalarInPlace(h_full, 1.0 / static_cast<double>(probed_rows));
+    for (size_t i = 0; i < p; ++i) h_full(i, i) += floor;  // ridge
+    Result<Matrix> chol = Cholesky(h_full);
+    if (!chol.ok()) {
+      return Status::Internal("full Gauss-Newton not positive definite: " +
+                              chol.status().message());
+    }
+    h_chol_ = std::move(chol).value();
+  }
+
+  // Common random numbers for the k parameter pairs.
+  z1_.assign(opts_.k, std::vector<double>(p));
+  z2_.assign(opts_.k, std::vector<double>(p));
+  for (int i = 0; i < opts_.k; ++i) {
+    for (size_t j = 0; j < p; ++j) {
+      z1_[i][j] = rng_.Normal();
+      z2_[i][j] = rng_.Normal();
+    }
+  }
+  prepared_ = true;
+  return Status::OK();
+}
+
+double SseEstimator::OutputDistance(GenerativeImputer& model,
+                                    const Dataset& validation,
+                                    const std::vector<double>& theta_a,
+                                    const std::vector<double>& theta_b) {
+  ParamStore& store = model.generator_params();
+  store.FromFlat(theta_a);
+  Tape ta;
+  Matrix xa = model
+                  .ReconstructOnTape(ta, validation.values(),
+                                     validation.mask(), /*train=*/false)
+                  .value();
+  store.CollectGrads();
+  store.FromFlat(theta_b);
+  Tape tb;
+  Matrix xb = model
+                  .ReconstructOnTape(tb, validation.values(),
+                                     validation.mask(), /*train=*/false)
+                  .value();
+  store.CollectGrads();
+  // Eq. 4: RMS of m ⊙ (x̄_a − x̄_b) over observed cells.
+  double acc = 0.0;
+  size_t cnt = 0;
+  const Matrix& mask = validation.mask();
+  for (size_t i = 0; i < xa.rows(); ++i) {
+    for (size_t j = 0; j < xa.cols(); ++j) {
+      if (mask(i, j) == 1.0) {
+        const double diff = xa(i, j) - xb(i, j);
+        acc += diff * diff;
+        ++cnt;
+      }
+    }
+  }
+  return cnt ? std::sqrt(acc / static_cast<double>(cnt)) : 0.0;
+}
+
+double SseEstimator::ProbabilityAt(GenerativeImputer& model,
+                                   const Dataset& validation, size_t n0,
+                                   size_t n, size_t data_size) {
+  SCIS_CHECK_MSG(prepared_, "Prepare() must run before ProbabilityAt()");
+  SCIS_CHECK(n0 <= n && n <= data_size);
+  const size_t p = theta0_.size();
+  const double zeta = SseZeta(opts_.lambda, validation.num_cols());
+  const double eta_0n =
+      opts_.eta_scale * zeta *
+      std::max(0.0, 1.0 / static_cast<double>(n0) - 1.0 / static_cast<double>(n));
+  const double eta_nN =
+      opts_.eta_scale * zeta *
+      std::max(0.0, 1.0 / static_cast<double>(n) -
+                        1.0 / static_cast<double>(data_size));
+
+  // Unit-η parameter directions: diagonal mode scales each coordinate by
+  // 1/√h; full mode solves Lᵀ x = z so Cov(x) = H⁻¹.
+  auto direction = [&](const std::vector<double>& z) {
+    std::vector<double> x(p);
+    if (h_chol_.empty()) {
+      for (size_t j = 0; j < p; ++j) x[j] = z[j] / std::sqrt(h_diag_[j]);
+    } else {
+      for (size_t j = p; j-- > 0;) {
+        double v = z[j];
+        for (size_t k2 = j + 1; k2 < p; ++k2) v -= h_chol_(k2, j) * x[k2];
+        x[j] = v / h_chol_(j, j);
+      }
+    }
+    return x;
+  };
+
+  std::vector<double> theta_n(p), theta_N(p);
+  int pass = 0;
+  for (int i = 0; i < opts_.k; ++i) {
+    const std::vector<double> d1 = direction(z1_[i]);
+    const std::vector<double> d2 = direction(z2_[i]);
+    for (size_t j = 0; j < p; ++j) {
+      theta_n[j] = theta0_[j] + std::sqrt(eta_0n) * d1[j];
+      theta_N[j] = theta_n[j] + std::sqrt(eta_nN) * d2[j];
+    }
+    const double dist = OutputDistance(model, validation, theta_n, theta_N);
+    if (dist <= opts_.epsilon) ++pass;
+  }
+  // Restore θ0.
+  model.generator_params().FromFlat(theta0_);
+  return static_cast<double>(pass) / static_cast<double>(opts_.k);
+}
+
+Result<SseResult> SseEstimator::EstimateMinimumSize(GenerativeImputer& model,
+                                                    size_t data_size,
+                                                    const Dataset& validation,
+                                                    size_t n0) {
+  if (n0 == 0 || n0 > data_size) {
+    return Status::InvalidArgument("need 0 < n0 <= N");
+  }
+  if (!prepared_) {
+    return Status::Internal("Prepare() must be called before estimation");
+  }
+  Stopwatch watch;
+  SseResult res;
+  res.zeta = SseZeta(opts_.lambda, validation.num_cols());
+  res.threshold = SseThreshold(opts_.alpha, opts_.beta, opts_.k);
+
+  // P(n) is monotone in n under common random numbers: binary search the
+  // smallest satisfying size.
+  auto satisfied = [&](size_t n) {
+    ++res.search_steps;
+    return ProbabilityAt(model, validation, n0, n, data_size) >=
+           res.threshold;
+  };
+  size_t lo = n0, hi = data_size;
+  if (satisfied(lo)) {
+    res.n_star = lo;
+  } else {
+    // Invariant: P(hi) is satisfied (at n=N the pair distance is 0 ≤ ε).
+    while (hi - lo > std::max<size_t>(1, data_size / 1024)) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (satisfied(mid)) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    res.n_star = hi;
+  }
+  res.probability_at_n_star =
+      ProbabilityAt(model, validation, n0, res.n_star, data_size);
+  res.sse_seconds = watch.ElapsedSeconds();
+  return res;
+}
+
+}  // namespace scis

@@ -1,0 +1,170 @@
+#include "data/covid_synth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/missingness.h"
+#include "tensor/matrix_ops.h"
+
+namespace scis {
+
+namespace {
+
+size_t ScaledRows(size_t paper_rows, double scale) {
+  const double r = static_cast<double>(paper_rows) * scale;
+  return std::max<size_t>(512, static_cast<size_t>(r));
+}
+
+}  // namespace
+
+LabeledDataset GenerateSynthetic(const SyntheticSpec& spec) {
+  Rng rng(spec.seed);
+  const size_t n = spec.rows, d = spec.cols, r = spec.latent_rank;
+  SCIS_CHECK_GT(r, 0u);
+
+  // Latent factors and loadings: X_base = Z W + b, low-rank so columns are
+  // mutually predictable (what a good imputer exploits).
+  Matrix loadings = rng.NormalMatrix(r, d, 0.0, 1.0 / std::sqrt(double(r)));
+  Matrix bias = rng.UniformMatrix(1, d, -0.5, 0.5);
+  // Per-column output scale/shift so raw units differ column to column,
+  // exercising the min-max normalizer like real mixed-unit data.
+  std::vector<double> col_scale(d), col_shift(d);
+  for (size_t j = 0; j < d; ++j) {
+    col_scale[j] = rng.Uniform(0.5, 20.0);
+    col_shift[j] = rng.Uniform(-10.0, 10.0);
+  }
+  const size_t n_binary =
+      static_cast<size_t>(spec.binary_fraction * static_cast<double>(d));
+
+  Matrix values(n, d);
+  std::vector<double> labels(n);
+  Matrix label_w = rng.NormalMatrix(1, r, 0.0, 1.0);
+  std::vector<double> raw_label(n);
+
+  std::vector<double> z(r);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t k = 0; k < r; ++k) z[k] = rng.Normal();
+    for (size_t j = 0; j < d; ++j) {
+      double base = bias(0, j);
+      for (size_t k = 0; k < r; ++k) base += z[k] * loadings(k, j);
+      // Mild nonlinearity keeps linear models honest without destroying
+      // the signal.
+      base += 0.3 * std::sin(2.0 * base);
+      base += rng.Normal(0.0, spec.noise_stddev);
+      if (j < n_binary) {
+        values(i, j) = base > 0 ? 1.0 : 0.0;
+      } else {
+        values(i, j) = col_shift[j] + col_scale[j] * base;
+      }
+    }
+    double y = 0.0;
+    for (size_t k = 0; k < r; ++k) y += label_w(0, k) * z[k];
+    raw_label[i] = y + rng.Normal(0.0, 0.25);
+  }
+
+  // Labels: balanced classification via the median threshold, or a
+  // positive regression target at the paper's MAE magnitude.
+  if (spec.task == TaskKind::kClassification) {
+    std::vector<double> sorted = raw_label;
+    std::nth_element(sorted.begin(), sorted.begin() + n / 2, sorted.end());
+    const double thr = sorted[n / 2];
+    for (size_t i = 0; i < n; ++i) labels[i] = raw_label[i] > thr ? 1.0 : 0.0;
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      labels[i] = spec.label_scale * (2.0 + std::tanh(raw_label[i]));
+    }
+  }
+
+  LabeledDataset out;
+  out.spec = spec;
+  out.complete = Dataset::Complete(spec.name, std::move(values));
+  Rng miss_rng = rng.Split();
+  out.incomplete = InjectMcar(out.complete, spec.missing_rate, miss_rng);
+  out.labels = std::move(labels);
+  return out;
+}
+
+SyntheticSpec TrialSpec(double scale) {
+  SyntheticSpec s;
+  s.name = "Trial";
+  s.rows = ScaledRows(6433, scale);
+  s.cols = 9;
+  s.missing_rate = 0.0963;
+  s.latent_rank = 3;
+  s.binary_fraction = 0.33;
+  s.task = TaskKind::kClassification;
+  s.seed = 101;
+  return s;
+}
+
+SyntheticSpec EmergencySpec(double scale) {
+  SyntheticSpec s;
+  s.name = "Emergency";
+  s.rows = ScaledRows(8364, scale);
+  s.cols = 22;
+  s.missing_rate = 0.6269;
+  s.latent_rank = 5;
+  s.binary_fraction = 0.5;  // policy indicator columns
+  s.task = TaskKind::kRegression;
+  s.seed = 102;
+  return s;
+}
+
+SyntheticSpec ResponseSpec(double scale) {
+  SyntheticSpec s;
+  s.name = "Response";
+  s.rows = ScaledRows(200737, scale);
+  s.cols = 19;
+  s.missing_rate = 0.0566;
+  s.latent_rank = 4;
+  s.binary_fraction = 0.25;
+  s.task = TaskKind::kRegression;
+  s.seed = 103;
+  return s;
+}
+
+SyntheticSpec SearchSpec(double scale) {
+  SyntheticSpec s;
+  s.name = "Search";
+  s.rows = ScaledRows(948762, scale);
+  s.cols = 64;  // paper: 424 symptom columns; reduced for CPU budget
+  s.missing_rate = 0.8135;
+  s.latent_rank = 8;
+  s.binary_fraction = 0.0;  // search frequencies are continuous
+  s.task = TaskKind::kRegression;
+  s.seed = 104;
+  return s;
+}
+
+SyntheticSpec WeatherSpec(double scale) {
+  SyntheticSpec s;
+  s.name = "Weather";
+  s.rows = ScaledRows(4911011, scale);
+  s.cols = 9;
+  s.missing_rate = 0.2156;
+  s.latent_rank = 3;
+  s.binary_fraction = 0.0;
+  s.task = TaskKind::kRegression;
+  s.seed = 105;
+  return s;
+}
+
+SyntheticSpec SurveilSpec(double scale) {
+  SyntheticSpec s;
+  s.name = "Surveil";
+  s.rows = ScaledRows(22507139, scale);
+  s.cols = 7;
+  s.missing_rate = 0.4762;
+  s.latent_rank = 3;
+  s.binary_fraction = 0.57;  // clinical/symptom indicator columns
+  s.task = TaskKind::kClassification;
+  s.seed = 106;
+  return s;
+}
+
+std::vector<SyntheticSpec> AllCovidSpecs(double scale) {
+  return {TrialSpec(scale),   EmergencySpec(scale), ResponseSpec(scale),
+          SearchSpec(scale),  WeatherSpec(scale),   SurveilSpec(scale)};
+}
+
+}  // namespace scis

@@ -1,0 +1,82 @@
+#include "data/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace scis {
+
+Result<Dataset> ReadCsvDataset(const std::string& path,
+                               const std::string& name) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+
+  std::string line;
+  if (!std::getline(in, line)) return Status::IoError("empty file: " + path);
+  std::vector<std::string> header = Split(Trim(line), ',');
+  const size_t d = header.size();
+  std::vector<ColumnMeta> columns(d);
+  for (size_t j = 0; j < d; ++j) {
+    columns[j].name = std::string(Trim(header[j]));
+    columns[j].kind = ColumnKind::kNumeric;
+  }
+
+  std::vector<double> values;
+  std::vector<double> mask;
+  size_t rows = 0;
+  size_t lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (Trim(line).empty()) continue;
+    std::vector<std::string> fields = Split(line, ',');
+    if (fields.size() != d) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: expected %zu fields, got %zu", path.c_str(),
+                    lineno, d, fields.size()));
+    }
+    for (size_t j = 0; j < d; ++j) {
+      Result<double> v = ParseDouble(fields[j]);
+      if (v.ok()) {
+        values.push_back(v.value());
+        mask.push_back(1.0);
+      } else if (v.status().code() == StatusCode::kNotFound) {
+        values.push_back(0.0);
+        mask.push_back(0.0);
+      } else {
+        return Status::InvalidArgument(
+            StrFormat("%s:%zu: %s", path.c_str(), lineno,
+                      v.status().message().c_str()));
+      }
+    }
+    ++rows;
+  }
+  return Dataset(name, Matrix::FromFlat(rows, d, std::move(values)),
+                 Matrix::FromFlat(rows, d, std::move(mask)),
+                 std::move(columns));
+}
+
+Status WriteCsvDataset(const Dataset& data, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  for (size_t j = 0; j < data.num_cols(); ++j) {
+    if (j) out << ',';
+    out << data.columns()[j].name;
+  }
+  out << '\n';
+  std::ostringstream row;
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    row.str("");
+    for (size_t j = 0; j < data.num_cols(); ++j) {
+      if (j) row << ',';
+      if (data.IsObserved(i, j)) row << data.values()(i, j);
+    }
+    row << '\n';
+    out << row.str();
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace scis

@@ -1,0 +1,23 @@
+// CSV I/O for incomplete datasets: empty fields / "NA" / "nan" / "null"
+// parse as missing. Only numeric CSVs are supported; categorical columns
+// must be integer-coded upstream (the synthetic generators do this).
+#ifndef SCIS_DATA_CSV_H_
+#define SCIS_DATA_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace scis {
+
+// Reads a CSV with a header row into a Dataset named `name`.
+Result<Dataset> ReadCsvDataset(const std::string& path,
+                               const std::string& name);
+
+// Writes values with missing cells as empty fields.
+Status WriteCsvDataset(const Dataset& data, const std::string& path);
+
+}  // namespace scis
+
+#endif  // SCIS_DATA_CSV_H_

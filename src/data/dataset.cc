@@ -1,0 +1,71 @@
+#include "data/dataset.h"
+
+#include "common/string_util.h"
+
+namespace scis {
+
+Dataset::Dataset(std::string name, Matrix values, Matrix mask,
+                 std::vector<ColumnMeta> columns)
+    : name_(std::move(name)),
+      values_(std::move(values)),
+      mask_(std::move(mask)),
+      columns_(std::move(columns)) {
+  if (columns_.empty()) columns_ = NumericColumns(values_.cols());
+  SCIS_CHECK(values_.SameShape(mask_));
+  SCIS_CHECK_EQ(columns_.size(), values_.cols());
+}
+
+Dataset Dataset::Complete(std::string name, Matrix values,
+                          std::vector<ColumnMeta> columns) {
+  Matrix mask = Matrix::Ones(values.rows(), values.cols());
+  return Dataset(std::move(name), std::move(values), std::move(mask),
+                 std::move(columns));
+}
+
+size_t Dataset::ObservedCount() const {
+  size_t n = 0;
+  const double* p = mask_.data();
+  for (size_t k = 0; k < mask_.size(); ++k) n += (p[k] == 1.0);
+  return n;
+}
+
+double Dataset::MissingRate() const {
+  if (mask_.size() == 0) return 0.0;
+  return 1.0 - static_cast<double>(ObservedCount()) /
+                   static_cast<double>(mask_.size());
+}
+
+Dataset Dataset::GatherRows(const std::vector<size_t>& idx) const {
+  return Dataset(name_, values_.GatherRows(idx), mask_.GatherRows(idx),
+                 columns_);
+}
+
+Status Dataset::Validate() const {
+  if (!values_.SameShape(mask_)) {
+    return Status::Internal("values/mask shape mismatch");
+  }
+  if (columns_.size() != values_.cols()) {
+    return Status::Internal("column metadata count mismatch");
+  }
+  for (size_t k = 0; k < mask_.size(); ++k) {
+    const double m = mask_.data()[k];
+    if (m != 0.0 && m != 1.0) {
+      return Status::Internal("mask entry not in {0,1}");
+    }
+    if (m == 0.0 && values_.data()[k] != 0.0) {
+      return Status::Internal("missing cell holds a nonzero value");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<ColumnMeta> NumericColumns(size_t d) {
+  std::vector<ColumnMeta> cols(d);
+  for (size_t j = 0; j < d; ++j) {
+    cols[j].name = "c" + std::to_string(j);
+    cols[j].kind = ColumnKind::kNumeric;
+  }
+  return cols;
+}
+
+}  // namespace scis

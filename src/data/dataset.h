@@ -1,0 +1,69 @@
+// Incomplete dataset container: a value matrix X plus its {0,1} mask matrix
+// M (1 = observed, 0 = missing; the paper's convention) and per-column
+// metadata. Missing cells hold 0 in X; models must consult the mask.
+#ifndef SCIS_DATA_DATASET_H_
+#define SCIS_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/matrix.h"
+
+namespace scis {
+
+enum class ColumnKind { kNumeric, kBinary, kCategorical };
+
+struct ColumnMeta {
+  std::string name;
+  ColumnKind kind = ColumnKind::kNumeric;
+  // For kCategorical: number of integer-coded levels (stored as 0..k-1).
+  int num_categories = 0;
+};
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::string name, Matrix values, Matrix mask,
+          std::vector<ColumnMeta> columns);
+
+  // All-observed dataset (mask of ones).
+  static Dataset Complete(std::string name, Matrix values,
+                          std::vector<ColumnMeta> columns = {});
+
+  const std::string& name() const { return name_; }
+  size_t num_rows() const { return values_.rows(); }
+  size_t num_cols() const { return values_.cols(); }
+
+  const Matrix& values() const { return values_; }
+  Matrix& mutable_values() { return values_; }
+  const Matrix& mask() const { return mask_; }
+  Matrix& mutable_mask() { return mask_; }
+  const std::vector<ColumnMeta>& columns() const { return columns_; }
+
+  bool IsObserved(size_t i, size_t j) const { return mask_(i, j) == 1.0; }
+
+  size_t ObservedCount() const;
+  // Fraction of missing cells, the paper's "missing rate".
+  double MissingRate() const;
+
+  // Row subset (copies); keeps column metadata.
+  Dataset GatherRows(const std::vector<size_t>& idx) const;
+
+  // Validates shape agreement and that the mask is {0,1}-valued with
+  // missing cells zeroed in X.
+  Status Validate() const;
+
+ private:
+  std::string name_;
+  Matrix values_;
+  Matrix mask_;
+  std::vector<ColumnMeta> columns_;
+};
+
+// Default metadata: numeric columns named c0..c{d-1}.
+std::vector<ColumnMeta> NumericColumns(size_t d);
+
+}  // namespace scis
+
+#endif  // SCIS_DATA_DATASET_H_

@@ -1,0 +1,101 @@
+#include "data/encoding.h"
+
+#include <cmath>
+
+namespace scis {
+
+Status OneHotEncoder::Fit(const Dataset& data) {
+  plan_.clear();
+  encoded_cols_ = 0;
+  for (const ColumnMeta& meta : data.columns()) {
+    ColumnPlan p;
+    p.meta = meta;
+    p.out_offset = encoded_cols_;
+    if (meta.kind == ColumnKind::kCategorical) {
+      if (meta.num_categories < 2) {
+        plan_.clear();
+        return Status::InvalidArgument("categorical column '" + meta.name +
+                                       "' needs num_categories >= 2");
+      }
+      p.out_width = static_cast<size_t>(meta.num_categories);
+    }
+    encoded_cols_ += p.out_width;
+    plan_.push_back(p);
+  }
+  return Status::OK();
+}
+
+Result<Dataset> OneHotEncoder::Transform(const Dataset& data) const {
+  if (!fitted()) return Status::Internal("encoder not fitted");
+  if (data.num_cols() != plan_.size()) {
+    return Status::InvalidArgument("column count mismatch");
+  }
+  const size_t n = data.num_rows();
+  Matrix values(n, encoded_cols_);
+  Matrix mask(n, encoded_cols_);
+  std::vector<ColumnMeta> columns;
+  columns.reserve(encoded_cols_);
+  for (size_t j = 0; j < plan_.size(); ++j) {
+    const ColumnPlan& p = plan_[j];
+    if (p.out_width == 1) {
+      columns.push_back(p.meta);
+    } else {
+      for (size_t c = 0; c < p.out_width; ++c) {
+        ColumnMeta meta;
+        meta.name = p.meta.name + "=" + std::to_string(c);
+        meta.kind = ColumnKind::kBinary;
+        columns.push_back(meta);
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (!data.IsObserved(i, j)) continue;  // whole block stays missing
+      if (p.out_width == 1) {
+        values(i, p.out_offset) = data.values()(i, j);
+        mask(i, p.out_offset) = 1.0;
+      } else {
+        const double raw = data.values()(i, j);
+        const long code = std::lround(raw);
+        if (code < 0 || code >= static_cast<long>(p.out_width) ||
+            std::abs(raw - static_cast<double>(code)) > 1e-9) {
+          return Status::InvalidArgument(
+              "column '" + p.meta.name + "' has non-integer or out-of-range "
+              "category code");
+        }
+        for (size_t c = 0; c < p.out_width; ++c) {
+          mask(i, p.out_offset + c) = 1.0;
+        }
+        values(i, p.out_offset + static_cast<size_t>(code)) = 1.0;
+      }
+    }
+  }
+  return Dataset(data.name() + ".onehot", std::move(values), std::move(mask),
+                 std::move(columns));
+}
+
+Result<Matrix> OneHotEncoder::InverseTransform(const Matrix& encoded) const {
+  if (!fitted()) return Status::Internal("encoder not fitted");
+  if (encoded.cols() != encoded_cols_) {
+    return Status::InvalidArgument("encoded column count mismatch");
+  }
+  Matrix out(encoded.rows(), plan_.size());
+  for (size_t j = 0; j < plan_.size(); ++j) {
+    const ColumnPlan& p = plan_[j];
+    for (size_t i = 0; i < encoded.rows(); ++i) {
+      if (p.out_width == 1) {
+        out(i, j) = encoded(i, p.out_offset);
+      } else {
+        size_t best = 0;
+        for (size_t c = 1; c < p.out_width; ++c) {
+          if (encoded(i, p.out_offset + c) >
+              encoded(i, p.out_offset + best)) {
+            best = c;
+          }
+        }
+        out(i, j) = static_cast<double>(best);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace scis

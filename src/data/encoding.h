@@ -1,0 +1,46 @@
+// One-hot encoding of integer-coded categorical columns.
+//
+// The paper's real tables mix numeric, indicator, and categorical columns;
+// neural imputers operate on a fully numeric matrix. OneHotEncoder expands
+// every kCategorical column into its indicator block (mask bits replicated
+// across the block — a missing category is missing in all indicators) and
+// maps reconstructions back via per-block argmax.
+#ifndef SCIS_DATA_ENCODING_H_
+#define SCIS_DATA_ENCODING_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace scis {
+
+class OneHotEncoder {
+ public:
+  // Reads the column metadata; kCategorical columns must have
+  // num_categories >= 2 and values coded as 0..num_categories-1.
+  Status Fit(const Dataset& data);
+
+  bool fitted() const { return !plan_.empty(); }
+  size_t encoded_cols() const { return encoded_cols_; }
+
+  // Expands categorical columns into one-hot blocks.
+  Result<Dataset> Transform(const Dataset& data) const;
+
+  // Collapses an encoded-space matrix back to the original layout:
+  // numeric columns copied, categorical blocks arg-maxed to a code.
+  Result<Matrix> InverseTransform(const Matrix& encoded) const;
+
+ private:
+  struct ColumnPlan {
+    ColumnMeta meta;
+    size_t out_offset = 0;  // first output column
+    size_t out_width = 1;   // 1 for numeric/binary, k for categorical
+  };
+  std::vector<ColumnPlan> plan_;
+  size_t encoded_cols_ = 0;
+};
+
+}  // namespace scis
+
+#endif  // SCIS_DATA_ENCODING_H_

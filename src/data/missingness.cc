@@ -1,0 +1,111 @@
+#include "data/missingness.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scis {
+
+namespace {
+
+// Median of the observed entries of column j (0 if none).
+double ObservedMedian(const Dataset& data, size_t j) {
+  std::vector<double> v;
+  v.reserve(data.num_rows());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    if (data.IsObserved(i, j)) v.push_back(data.values()(i, j));
+  }
+  if (v.empty()) return 0.0;
+  size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + mid, v.end());
+  return v[mid];
+}
+
+void Drop(Matrix& values, Matrix& mask, size_t i, size_t j) {
+  mask(i, j) = 0.0;
+  values(i, j) = 0.0;
+}
+
+}  // namespace
+
+Dataset InjectMcar(const Dataset& data, double rate, Rng& rng) {
+  SCIS_CHECK(rate >= 0.0 && rate <= 1.0);
+  Matrix values = data.values();
+  Matrix mask = data.mask();
+  for (size_t i = 0; i < values.rows(); ++i) {
+    for (size_t j = 0; j < values.cols(); ++j) {
+      if (mask(i, j) == 1.0 && rng.Bernoulli(rate)) Drop(values, mask, i, j);
+    }
+  }
+  return Dataset(data.name(), std::move(values), std::move(mask),
+                 data.columns());
+}
+
+Dataset InjectMar(const Dataset& data, double rate, double amp, Rng& rng) {
+  SCIS_CHECK(rate >= 0.0 && rate <= 1.0);
+  SCIS_CHECK_GE(amp, 1.0);
+  const size_t d = data.num_cols();
+  std::vector<double> medians(d);
+  for (size_t j = 0; j < d; ++j) medians[j] = ObservedMedian(data, j);
+  // Normalize the two branch rates so the expected overall rate stays
+  // `rate` assuming a balanced pivot split: (hi + lo)/2 = rate.
+  const double hi = std::min(1.0, 2.0 * rate * amp / (amp + 1.0));
+  const double lo = std::max(0.0, 2.0 * rate / (amp + 1.0));
+  Matrix values = data.values();
+  Matrix mask = data.mask();
+  for (size_t i = 0; i < values.rows(); ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      if (mask(i, j) != 1.0) continue;
+      const size_t pivot = (j + 1) % d;
+      // Missing-at-random: depends on another column's observed value.
+      const bool pivot_high = data.IsObserved(i, pivot) &&
+                              data.values()(i, pivot) > medians[pivot];
+      if (rng.Bernoulli(pivot_high ? hi : lo)) Drop(values, mask, i, j);
+    }
+  }
+  return Dataset(data.name(), std::move(values), std::move(mask),
+                 data.columns());
+}
+
+Dataset InjectMnar(const Dataset& data, double rate, double sharpness,
+                   Rng& rng) {
+  SCIS_CHECK(rate >= 0.0 && rate <= 1.0);
+  const size_t d = data.num_cols();
+  std::vector<double> medians(d);
+  for (size_t j = 0; j < d; ++j) medians[j] = ObservedMedian(data, j);
+  Matrix values = data.values();
+  Matrix mask = data.mask();
+  for (size_t i = 0; i < values.rows(); ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      if (mask(i, j) != 1.0) continue;
+      const double z = sharpness * (data.values()(i, j) - medians[j]);
+      const double p =
+          std::min(1.0, rate * 2.0 / (1.0 + std::exp(-z)));
+      if (rng.Bernoulli(p)) Drop(values, mask, i, j);
+    }
+  }
+  return Dataset(data.name(), std::move(values), std::move(mask),
+                 data.columns());
+}
+
+HoldOut MakeHoldOut(const Dataset& data, double fraction, Rng& rng) {
+  SCIS_CHECK(fraction > 0.0 && fraction < 1.0);
+  HoldOut out;
+  Matrix values = data.values();
+  Matrix mask = data.mask();
+  out.eval_mask = Matrix(values.rows(), values.cols());
+  out.truth = Matrix(values.rows(), values.cols());
+  for (size_t i = 0; i < values.rows(); ++i) {
+    for (size_t j = 0; j < values.cols(); ++j) {
+      if (mask(i, j) == 1.0 && rng.Bernoulli(fraction)) {
+        out.eval_mask(i, j) = 1.0;
+        out.truth(i, j) = values(i, j);
+        Drop(values, mask, i, j);
+      }
+    }
+  }
+  out.train = Dataset(data.name(), std::move(values), std::move(mask),
+                      data.columns());
+  return out;
+}
+
+}  // namespace scis

@@ -1,0 +1,38 @@
+// Missingness injection and the paper's evaluation hold-out protocol.
+//
+// The paper assumes MCAR throughout; MAR and MNAR injectors are provided for
+// the robustness extension experiments (§VII future work).
+#ifndef SCIS_DATA_MISSINGNESS_H_
+#define SCIS_DATA_MISSINGNESS_H_
+
+#include "data/dataset.h"
+#include "tensor/rng.h"
+
+namespace scis {
+
+// Each currently observed cell becomes missing independently w.p. `rate`.
+Dataset InjectMcar(const Dataset& data, double rate, Rng& rng);
+
+// MAR: the missingness probability of column j depends on the (observed)
+// value of a pivot column p(j) != j: cells whose pivot value is above its
+// column median go missing with rate*amp, others with rate/amp, rescaled to
+// hit `rate` overall in expectation.
+Dataset InjectMar(const Dataset& data, double rate, double amp, Rng& rng);
+
+// MNAR (self-masking): larger values are likelier to go missing; the
+// probability is rate * 2*sigmoid(s*(x - median)) column-wise.
+Dataset InjectMnar(const Dataset& data, double rate, double sharpness,
+                   Rng& rng);
+
+// Evaluation hold-out (§VI Metrics): removes `fraction` of the *observed*
+// cells; the removed cells become the RMSE ground truth.
+struct HoldOut {
+  Dataset train;       // hold-out cells removed from mask and zeroed
+  Matrix eval_mask;    // 1 where a cell was held out
+  Matrix truth;        // original values at held-out cells (0 elsewhere)
+};
+HoldOut MakeHoldOut(const Dataset& data, double fraction, Rng& rng);
+
+}  // namespace scis
+
+#endif  // SCIS_DATA_MISSINGNESS_H_

@@ -1,0 +1,63 @@
+#include "data/normalizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace scis {
+
+void MinMaxNormalizer::Fit(const Dataset& data) {
+  const size_t d = data.num_cols();
+  lo_.assign(d, std::numeric_limits<double>::infinity());
+  hi_.assign(d, -std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      if (!data.IsObserved(i, j)) continue;
+      const double v = data.values()(i, j);
+      lo_[j] = std::min(lo_[j], v);
+      hi_[j] = std::max(hi_[j], v);
+    }
+  }
+  // Columns with no observations or a single value normalize to 0.
+  for (size_t j = 0; j < d; ++j) {
+    if (!std::isfinite(lo_[j])) {
+      lo_[j] = 0.0;
+      hi_[j] = 1.0;
+    } else if (hi_[j] <= lo_[j]) {
+      hi_[j] = lo_[j] + 1.0;
+    }
+  }
+}
+
+Dataset MinMaxNormalizer::Transform(const Dataset& data) const {
+  SCIS_CHECK_MSG(fitted(), "normalizer not fitted");
+  SCIS_CHECK_EQ(data.num_cols(), lo_.size());
+  Matrix out(data.num_rows(), data.num_cols());
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    for (size_t j = 0; j < data.num_cols(); ++j) {
+      if (data.IsObserved(i, j)) {
+        out(i, j) = (data.values()(i, j) - lo_[j]) / (hi_[j] - lo_[j]);
+      }
+    }
+  }
+  return Dataset(data.name(), std::move(out), data.mask(), data.columns());
+}
+
+Dataset MinMaxNormalizer::FitTransform(const Dataset& data) {
+  Fit(data);
+  return Transform(data);
+}
+
+Matrix MinMaxNormalizer::InverseTransform(const Matrix& values) const {
+  SCIS_CHECK_MSG(fitted(), "normalizer not fitted");
+  SCIS_CHECK_EQ(values.cols(), lo_.size());
+  Matrix out = values;
+  for (size_t i = 0; i < out.rows(); ++i) {
+    for (size_t j = 0; j < out.cols(); ++j) {
+      out(i, j) = lo_[j] + out(i, j) * (hi_[j] - lo_[j]);
+    }
+  }
+  return out;
+}
+
+}  // namespace scis

@@ -1,0 +1,38 @@
+// Per-column min-max normalization to [0,1], fit on observed entries only.
+// The paper normalizes inputs to [0,1]^d so that the SSE constants
+// (|X| = 1, Lipschitz L = 1 for f_c) hold; all RMSE numbers are reported in
+// this normalized space.
+#ifndef SCIS_DATA_NORMALIZER_H_
+#define SCIS_DATA_NORMALIZER_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace scis {
+
+class MinMaxNormalizer {
+ public:
+  // Computes per-column observed min/max; constant columns map to 0.
+  void Fit(const Dataset& data);
+
+  bool fitted() const { return !lo_.empty(); }
+
+  // Maps observed entries into [0,1]; missing cells stay 0.
+  Dataset Transform(const Dataset& data) const;
+  // Convenience Fit + Transform.
+  Dataset FitTransform(const Dataset& data);
+
+  // Maps a matrix in normalized space back to the original units.
+  Matrix InverseTransform(const Matrix& values) const;
+
+  const std::vector<double>& lo() const { return lo_; }
+  const std::vector<double>& hi() const { return hi_; }
+
+ private:
+  std::vector<double> lo_, hi_;
+};
+
+}  // namespace scis
+
+#endif  // SCIS_DATA_NORMALIZER_H_

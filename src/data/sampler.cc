@@ -1,0 +1,48 @@
+#include "data/sampler.h"
+
+#include <algorithm>
+
+namespace scis {
+
+ValidationSplit SplitValidation(size_t n, size_t n_validation, Rng& rng) {
+  SCIS_CHECK_LE(n_validation, n);
+  std::vector<size_t> perm = rng.Permutation(n);
+  ValidationSplit out;
+  out.validation.assign(perm.begin(), perm.begin() + n_validation);
+  out.rest.assign(perm.begin() + n_validation, perm.end());
+  return out;
+}
+
+std::vector<size_t> SampleFrom(const std::vector<size_t>& pool, size_t k,
+                               Rng& rng) {
+  SCIS_CHECK_LE(k, pool.size());
+  std::vector<size_t> chosen = rng.SampleWithoutReplacement(pool.size(), k);
+  std::vector<size_t> out(k);
+  for (size_t i = 0; i < k; ++i) out[i] = pool[chosen[i]];
+  return out;
+}
+
+MiniBatcher::MiniBatcher(size_t n, size_t batch_size, Rng& rng)
+    : n_(n), batch_size_(batch_size), cursor_(0) {
+  SCIS_CHECK_GT(batch_size, 0u);
+  Reset(rng);
+}
+
+void MiniBatcher::Reset(Rng& rng) {
+  order_ = rng.Permutation(n_);
+  cursor_ = 0;
+}
+
+bool MiniBatcher::Next(std::vector<size_t>* batch) {
+  if (cursor_ >= n_) return false;
+  const size_t end = std::min(cursor_ + batch_size_, n_);
+  batch->assign(order_.begin() + cursor_, order_.begin() + end);
+  cursor_ = end;
+  return true;
+}
+
+size_t MiniBatcher::batches_per_epoch() const {
+  return (n_ + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace scis

@@ -1,0 +1,42 @@
+// Row sampling used by Algorithm 1 (validation / initial / minimum-size
+// splits) and by mini-batch training.
+#ifndef SCIS_DATA_SAMPLER_H_
+#define SCIS_DATA_SAMPLER_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/rng.h"
+
+namespace scis {
+
+// Disjoint validation/rest index split (Algorithm 1, line 1).
+struct ValidationSplit {
+  std::vector<size_t> validation;  // size Nv
+  std::vector<size_t> rest;        // the remaining N - Nv indices
+};
+ValidationSplit SplitValidation(size_t n, size_t n_validation, Rng& rng);
+
+// k indices drawn without replacement from `pool`.
+std::vector<size_t> SampleFrom(const std::vector<size_t>& pool, size_t k,
+                               Rng& rng);
+
+// Shuffled mini-batch iterator over [0, n). The last batch may be short.
+class MiniBatcher {
+ public:
+  MiniBatcher(size_t n, size_t batch_size, Rng& rng);
+
+  // Starts a new epoch (reshuffles).
+  void Reset(Rng& rng);
+  // Fills `batch` with the next batch of indices; false at epoch end.
+  bool Next(std::vector<size_t>* batch);
+  size_t batches_per_epoch() const;
+
+ private:
+  size_t n_, batch_size_, cursor_;
+  std::vector<size_t> order_;
+};
+
+}  // namespace scis
+
+#endif  // SCIS_DATA_SAMPLER_H_

@@ -1,0 +1,91 @@
+// Experiment harness shared by the bench binaries: dataset preparation
+// (synthesize -> hold out 20% of observed -> normalize), the imputer
+// factory, and timed evaluation runners for plain / SCIS / DIM / Fixed-DIM
+// training modes.
+#ifndef SCIS_EVAL_EXPERIMENT_H_
+#define SCIS_EVAL_EXPERIMENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/scis.h"
+#include "data/covid_synth.h"
+#include "data/missingness.h"
+#include "data/normalizer.h"
+#include "eval/metrics.h"
+#include "models/imputer.h"
+
+namespace scis {
+
+// A dataset prepared for the §VI protocol, in normalized [0,1] space.
+struct PreparedData {
+  SyntheticSpec spec;
+  Dataset train;          // incomplete + hold-out removed, normalized
+  Matrix eval_mask;       // cells used as RMSE ground truth
+  Matrix truth;           // normalized ground-truth values at those cells
+  std::vector<double> labels;  // downstream targets (row-aligned)
+  TaskKind task = TaskKind::kRegression;
+};
+
+// holdout_fraction of observed cells become the RMSE ground truth
+// (§VI: 20%). extra_missing_rate optionally drops more observed cells
+// first (the Figure-2 R_m sweep). `seed` drives the random division — the
+// paper repeats 5 seeds.
+PreparedData PrepareData(const SyntheticSpec& spec, double holdout_fraction,
+                         double extra_missing_rate, uint64_t seed);
+
+// Builds a baseline imputer by paper name: Mean, KNN, MICE, MissF, Baran,
+// DataWig, RRSI, MIDAE, VAEI, MIWAE, EDDI, HIVAE, GAIN, GINN. Deep models
+// get `epochs` and `seed`.
+Result<std::unique_ptr<Imputer>> MakeImputer(const std::string& name,
+                                             int epochs, uint64_t seed);
+// Names accepted by MakeImputer, in paper order.
+std::vector<std::string> KnownImputerNames();
+// GAN-based names SCIS applies to.
+bool IsGenerativeName(const std::string& name);
+
+// Builds a GAN imputer ("GAIN" or "GINN") wired for SCIS training: its own
+// Fit() is a 1-epoch stub because DIM drives the optimization.
+Result<std::unique_ptr<GenerativeImputer>> MakeGenerativeImputer(
+    const std::string& name, uint64_t seed);
+
+struct MethodResult {
+  std::string method;
+  std::string dataset;
+  double rmse = 0.0;
+  double seconds = 0.0;       // training time
+  double sample_rate = 100.0; // R_t (%)
+  bool finished = true;
+  double sse_seconds = 0.0;   // SCIS only
+  size_t n_star = 0;          // SCIS only
+};
+
+// Fit + Impute + masked RMSE.
+MethodResult RunPlain(Imputer& imputer, const PreparedData& prep);
+
+// Algorithm 1 end to end on a generative imputer.
+MethodResult RunScis(GenerativeImputer& model, const ScisOptions& opts,
+                     const PreparedData& prep);
+
+// DIM over the full dataset (the paper's DIM-GAIN ablation arm).
+MethodResult RunDim(GenerativeImputer& model, const DimOptions& opts,
+                    const PreparedData& prep);
+
+// DIM over a fixed random `fraction` of rows (Fixed-DIM-GAIN arm).
+MethodResult RunFixedDim(GenerativeImputer& model, const DimOptions& opts,
+                         double fraction, const PreparedData& prep);
+
+// Runs `fn` once per seed and aggregates RMSE/seconds (paper: 5 seeds).
+struct AggregateResult {
+  MeanStd rmse;
+  MeanStd seconds;
+  MeanStd sample_rate;
+  MeanStd sse_seconds;
+};
+AggregateResult Repeat(int repeats,
+                       const std::function<MethodResult(uint64_t seed)>& fn);
+
+}  // namespace scis
+
+#endif  // SCIS_EVAL_EXPERIMENT_H_

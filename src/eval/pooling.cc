@@ -1,0 +1,52 @@
+#include "eval/pooling.h"
+
+#include "tensor/matrix_ops.h"
+
+namespace scis {
+
+Result<PooledImputation> PoolImputations(
+    const std::vector<Matrix>& imputations) {
+  if (imputations.size() < 2) {
+    return Status::InvalidArgument("pooling needs at least 2 imputations");
+  }
+  const Matrix& first = imputations.front();
+  for (const Matrix& m : imputations) {
+    if (!m.SameShape(first)) {
+      return Status::InvalidArgument("imputation shape mismatch");
+    }
+  }
+  const double m = static_cast<double>(imputations.size());
+  PooledImputation out;
+  out.num_imputations = static_cast<int>(imputations.size());
+  out.mean = Matrix(first.rows(), first.cols());
+  for (const Matrix& q : imputations) AddInPlace(out.mean, q);
+  MulScalarInPlace(out.mean, 1.0 / m);
+
+  out.between_var = Matrix(first.rows(), first.cols());
+  for (const Matrix& q : imputations) {
+    Matrix d = Sub(q, out.mean);
+    AddInPlace(out.between_var, Square(d));
+  }
+  MulScalarInPlace(out.between_var, 1.0 / (m - 1.0));
+  out.total_var = MulScalar(out.between_var, 1.0 + 1.0 / m);
+  return out;
+}
+
+Result<PooledImputation> MultipleImpute(
+    const std::function<std::unique_ptr<Imputer>(uint64_t seed)>&
+        make_imputer,
+    const Dataset& data, int m, uint64_t base_seed) {
+  if (m < 2) return Status::InvalidArgument("need m >= 2 imputations");
+  std::vector<Matrix> completions;
+  completions.reserve(m);
+  for (int i = 0; i < m; ++i) {
+    std::unique_ptr<Imputer> imputer =
+        make_imputer(base_seed + 7919 * static_cast<uint64_t>(i));
+    if (!imputer) return Status::InvalidArgument("factory returned null");
+    SCIS_RETURN_NOT_OK(imputer->Fit(data));
+    completions.push_back(imputer->Impute(data));
+  }
+  return PoolImputations(completions);
+}
+
+}  // namespace scis

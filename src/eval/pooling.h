@@ -1,0 +1,43 @@
+// Multiple imputation with Rubin's-rules pooling.
+//
+// MIDAE/MIWAE and the GAN imputers are stochastic: drawing several
+// completions and pooling exposes the imputation *uncertainty*, not just a
+// point estimate. For m completed matrices, per cell:
+//   pooled mean   q̄ = (1/m) Σ q_i
+//   within-var    W̄ = 0 here (single-value imputations carry no per-draw
+//                  variance; kept in the result for API symmetry)
+//   between-var   B = (1/(m−1)) Σ (q_i − q̄)²
+//   total-var     T = W̄ + (1 + 1/m)·B          (Rubin 1987)
+#ifndef SCIS_EVAL_POOLING_H_
+#define SCIS_EVAL_POOLING_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "models/imputer.h"
+#include "tensor/matrix.h"
+
+namespace scis {
+
+struct PooledImputation {
+  Matrix mean;         // pooled completed matrix
+  Matrix between_var;  // per-cell between-imputation variance B
+  Matrix total_var;    // Rubin total variance T = (1 + 1/m)·B
+  int num_imputations = 0;
+};
+
+// Pools m >= 2 completed matrices of identical shape.
+Result<PooledImputation> PoolImputations(
+    const std::vector<Matrix>& imputations);
+
+// Convenience driver: trains `make_imputer(seed)` on `data` m times with
+// distinct seeds and pools the resulting completions.
+Result<PooledImputation> MultipleImpute(
+    const std::function<std::unique_ptr<Imputer>(uint64_t seed)>&
+        make_imputer,
+    const Dataset& data, int m, uint64_t base_seed = 1);
+
+}  // namespace scis
+
+#endif  // SCIS_EVAL_POOLING_H_

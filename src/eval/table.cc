@@ -1,0 +1,55 @@
+#include "eval/table.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace scis {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  SCIS_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> width(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += " " + row[c] + std::string(width[c] - row[c].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string sep = "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    sep += std::string(width[c] + 2, '-') + "|";
+  }
+  sep += "\n";
+  std::string out = render_row(headers_) + sep;
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string FormatMeanStd(double mean, double stddev, int precision) {
+  return StrFormat("%.*f (± %.*f)", precision, mean, precision, stddev);
+}
+
+std::string FormatSeconds(double s) {
+  if (s >= 100) return StrFormat("%.0f", s);
+  if (s >= 1) return StrFormat("%.1f", s);
+  return StrFormat("%.3f", s);
+}
+
+}  // namespace scis

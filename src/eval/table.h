@@ -1,0 +1,32 @@
+// Fixed-width ASCII table printer for the bench harnesses, shaped like the
+// paper's tables ("RMSE (Bias) | Time (s) | R_t (%)").
+#ifndef SCIS_EVAL_TABLE_H_
+#define SCIS_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace scis {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  // Renders with per-column widths; prints to stdout.
+  void Print() const;
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// "0.398 (± 0.024)"-style cell.
+std::string FormatMeanStd(double mean, double stddev, int precision = 3);
+// Seconds with adaptive precision.
+std::string FormatSeconds(double s);
+
+}  // namespace scis
+
+#endif  // SCIS_EVAL_TABLE_H_

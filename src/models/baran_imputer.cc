@@ -1,0 +1,58 @@
+#include "models/baran_imputer.h"
+
+#include "models/column_stats.h"
+
+namespace scis {
+
+namespace {
+Matrix ContextWithout(const Matrix& filled, size_t j) {
+  const size_t n = filled.rows(), d = filled.cols();
+  Matrix x(n, d - 1);
+  for (size_t i = 0; i < n; ++i) {
+    const double* src = filled.row_data(i);
+    double* dst = x.row_data(i);
+    size_t c = 0;
+    for (size_t k = 0; k < d; ++k)
+      if (k != j) dst[c++] = src[k];
+  }
+  return x;
+}
+}  // namespace
+
+Status BaranImputer::Fit(const Dataset& data) {
+  const size_t n = data.num_rows(), d = data.num_cols();
+  means_ = ObservedColumnMeans(data);
+  models_.assign(d, GbdtRegressor(opts_.gbdt));
+  Matrix filled = MeanFill(data);
+  for (size_t j = 0; j < d; ++j) {
+    std::vector<size_t> obs_rows;
+    std::vector<double> y;
+    for (size_t i = 0; i < n; ++i) {
+      if (data.IsObserved(i, j)) {
+        obs_rows.push_back(i);
+        y.push_back(data.values()(i, j));
+      }
+    }
+    if (obs_rows.size() < 10 || obs_rows.size() == n) continue;
+    Matrix x = ContextWithout(filled, j).GatherRows(obs_rows);
+    GbdtRegressor model(opts_.gbdt);
+    model.Fit(x, y);
+    models_[j] = std::move(model);
+  }
+  return Status::OK();
+}
+
+Matrix BaranImputer::Reconstruct(const Dataset& data) const {
+  SCIS_CHECK_EQ(means_.size(), data.num_cols());
+  const size_t n = data.num_rows(), d = data.num_cols();
+  Matrix filled = FillMissing(data, means_);
+  Matrix out = filled;
+  for (size_t j = 0; j < d; ++j) {
+    if (!models_[j].fitted()) continue;
+    Matrix x = ContextWithout(filled, j);
+    for (size_t i = 0; i < n; ++i) out(i, j) = models_[j].Predict(x.row_data(i));
+  }
+  return out;
+}
+
+}  // namespace scis

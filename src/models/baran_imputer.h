@@ -1,0 +1,35 @@
+// Baran-style imputer (Mahdavi & Abedjan): a per-column boosted corrector
+// ensemble over context features. The original corrects errors with an
+// AdaBoost classifier over value-context representations; here the missing-
+// value analogue trains one gradient-boosted regressor per incomplete
+// column on the mean-filled context of the other columns (substitution
+// documented in DESIGN.md — GBDT plays the boosted-ensemble role).
+#ifndef SCIS_MODELS_BARAN_IMPUTER_H_
+#define SCIS_MODELS_BARAN_IMPUTER_H_
+
+#include "models/imputer.h"
+#include "models/tree.h"
+
+namespace scis {
+
+struct BaranImputerOptions {
+  GbdtOptions gbdt;
+};
+
+class BaranImputer final : public Imputer {
+ public:
+  explicit BaranImputer(BaranImputerOptions opts = {}) : opts_(opts) {}
+
+  std::string name() const override { return "Baran"; }
+  Status Fit(const Dataset& data) override;
+  Matrix Reconstruct(const Dataset& data) const override;
+
+ private:
+  BaranImputerOptions opts_;
+  std::vector<double> means_;
+  std::vector<GbdtRegressor> models_;  // one per column
+};
+
+}  // namespace scis
+
+#endif  // SCIS_MODELS_BARAN_IMPUTER_H_

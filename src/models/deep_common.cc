@@ -1,0 +1,36 @@
+#include "models/deep_common.h"
+
+#include "models/column_stats.h"
+
+namespace scis {
+
+Status DeepImputerBase::Fit(const Dataset& data) {
+  if (data.num_rows() == 0) return Status::InvalidArgument("empty dataset");
+  if (!built_) {
+    BuildModel(data.num_cols());
+    built_ = true;
+  }
+  train_means_ = ObservedColumnMeans(data);
+  MiniBatcher batcher(data.num_rows(), opts_.batch_size, rng_);
+  std::vector<size_t> batch;
+  for (int epoch = 0; epoch < opts_.epochs; ++epoch) {
+    batcher.Reset(rng_);
+    double epoch_loss = 0.0;
+    size_t batches = 0;
+    while (batcher.Next(&batch)) {
+      Matrix x = data.values().GatherRows(batch);
+      Matrix m = data.mask().GatherRows(batch);
+      Tape tape;
+      Var loss = BuildLoss(tape, x, m);
+      tape.Backward(loss);
+      adam_.Step(store_, store_.CollectGrads());
+      epoch_loss += loss.value()(0, 0);
+      ++batches;
+    }
+    last_epoch_loss_ = batches ? epoch_loss / static_cast<double>(batches)
+                               : 0.0;
+  }
+  return Status::OK();
+}
+
+}  // namespace scis

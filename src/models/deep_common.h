@@ -1,0 +1,54 @@
+// Shared scaffolding for the deep imputers: the §VI hyper-parameters
+// (ADAM lr 0.001, dropout 0.5, 100 epochs, batch 128) and the generic
+// mini-batch training loop every AE/MLP baseline uses.
+#ifndef SCIS_MODELS_DEEP_COMMON_H_
+#define SCIS_MODELS_DEEP_COMMON_H_
+
+#include <memory>
+
+#include "data/sampler.h"
+#include "models/imputer.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+
+namespace scis {
+
+struct DeepOptions {
+  int epochs = 100;
+  size_t batch_size = 128;
+  double learning_rate = 1e-3;
+  double dropout = 0.5;
+  uint64_t seed = 23;
+};
+
+// Base class implementing Fit() as: mean-fill -> shuffled mini-batches ->
+// subclass-built loss -> Adam step. Subclasses define the network in
+// BuildModel (called once, when the column count is known) and the
+// per-batch loss in BuildLoss.
+class DeepImputerBase : public Imputer {
+ public:
+  explicit DeepImputerBase(DeepOptions opts)
+      : opts_(opts), rng_(opts.seed), adam_(opts.learning_rate) {}
+
+  Status Fit(const Dataset& data) override;
+
+  // Mean training loss of the most recent epoch (diagnostics/tests).
+  double last_epoch_loss() const { return last_epoch_loss_; }
+
+ protected:
+  virtual void BuildModel(size_t d) = 0;
+  // x: batch values with missing cells zeroed; m: batch mask.
+  virtual Var BuildLoss(Tape& tape, const Matrix& x, const Matrix& m) = 0;
+
+  DeepOptions opts_;
+  Rng rng_;
+  ParamStore store_;
+  Adam adam_;
+  bool built_ = false;
+  std::vector<double> train_means_;  // column means of the training data
+  double last_epoch_loss_ = 0.0;
+};
+
+}  // namespace scis
+
+#endif  // SCIS_MODELS_DEEP_COMMON_H_

@@ -1,0 +1,128 @@
+#include "models/ginn_imputer.h"
+
+#include "data/sampler.h"
+
+namespace scis {
+
+GinnImputer::GinnImputer(GinnImputerOptions opts)
+    : opts_(opts),
+      rng_(opts.deep.seed),
+      gen_adam_(opts.deep.learning_rate),
+      critic_adam_(opts.deep.learning_rate) {}
+
+void GinnImputer::EnsureBuilt(size_t d) {
+  if (built_) {
+    SCIS_CHECK_EQ(gcn1_->in_dim(), 2 * d);
+    return;
+  }
+  gcn1_ = std::make_unique<Linear>(&gen_store_, "ginn.gcn1", 2 * d,
+                                   opts_.hidden, Activation::kNone, rng_,
+                                   InitKind::kHeNormal);
+  gcn2_ = std::make_unique<Linear>(&gen_store_, "ginn.gcn2", opts_.hidden, d,
+                                   Activation::kNone, rng_);
+  critic_ = std::make_unique<Mlp>(
+      &critic_store_, "ginn.critic",
+      std::vector<size_t>{d, opts_.critic_hidden, opts_.critic_hidden, d},
+      Activation::kRelu, Activation::kSigmoid, rng_);
+  built_ = true;
+}
+
+Var GinnImputer::GcnForward(Tape& tape, const SparseMatrix& graph,
+                            const Matrix& x, const Matrix& m) {
+  Var xin = tape.Constant(ConcatCols(x, m));
+  // Layer 1: relu(Â X W1 + b1); Linear applies W then we propagate with Â.
+  Var h = Relu(SparseMatMul(graph, gcn1_->Forward(tape, xin)));
+  Var out = Sigmoid(SparseMatMul(graph, gcn2_->Forward(tape, h)));
+  return out;
+}
+
+Var GinnImputer::ReconstructOnTape(Tape& tape, const Matrix& x,
+                                   const Matrix& m, bool /*train*/) {
+  EnsureBuilt(x.cols());
+  // Batch-local graph. Ownership: the tape's backward closures reference
+  // it, so it must live past Backward(); stash it on the heap and let the
+  // lambda own it via shared_ptr.
+  auto graph = std::make_shared<SparseMatrix>(
+      BuildKnnGraph(x, m, opts_.graph_k));
+  Var xin = tape.Constant(ConcatCols(x, m));
+  Var w1 = gcn1_->Forward(tape, xin);
+  // Re-implement GcnForward inline so the shared_ptr is captured.
+  Tape* t = &tape;
+  Var h1 = t->Node(graph->MatMulDense(w1.value()), {w1},
+                   [graph, w1](Tape& tp, const Matrix& g) {
+                     if (tp.requires_grad(w1))
+                       tp.AccumulateGrad(w1, graph->TransposeMatMulDense(g));
+                   });
+  Var h = Relu(h1);
+  Var w2 = gcn2_->Forward(tape, h);
+  Var h2 = t->Node(graph->MatMulDense(w2.value()), {w2},
+                   [graph, w2](Tape& tp, const Matrix& g) {
+                     if (tp.requires_grad(w2))
+                       tp.AccumulateGrad(w2, graph->TransposeMatMulDense(g));
+                   });
+  return Sigmoid(h2);
+}
+
+Status GinnImputer::Fit(const Dataset& data) {
+  if (data.num_rows() == 0) return Status::InvalidArgument("empty dataset");
+  EnsureBuilt(data.num_cols());
+  const size_t n = data.num_rows();
+  // Full similarity graph: the O(n²·d) step that dominates at scale.
+  const SparseMatrix graph =
+      BuildKnnGraph(data.values(), data.mask(), opts_.graph_k);
+  const Matrix& x = data.values();
+  const Matrix& m = data.mask();
+  const Matrix ones = Matrix::Ones(n, data.num_cols());
+  const Matrix inv_m = Map(m, [](double v) { return 1 - v; });
+
+  for (int epoch = 0; epoch < opts_.deep.epochs; ++epoch) {
+    // Critic steps: distinguish observed from imputed cells on x̂.
+    for (int cstep = 0; cstep < opts_.critic_steps; ++cstep) {
+      Tape tape;
+      Var xbar = GcnForward(tape, graph, x, m);
+      Var mC = tape.Constant(m);
+      Var xhat = Add(Mul(mC, tape.Constant(x)),
+                     Mul(tape.Constant(inv_m), xbar));
+      Var prob = critic_->Forward(tape, xhat);
+      Var closs = WeightedBceLoss(prob, mC, tape.Constant(ones));
+      tape.Backward(closs);
+      critic_adam_.Step(critic_store_, critic_store_.CollectGrads());
+      gen_store_.CollectGrads();
+    }
+    // Generator step.
+    {
+      Tape tape;
+      Var xbar = GcnForward(tape, graph, x, m);
+      Var mC = tape.Constant(m);
+      Var xC = tape.Constant(x);
+      Var invC = tape.Constant(inv_m);
+      Var xhat = Add(Mul(mC, xC), Mul(invC, xbar));
+      Var prob = critic_->Forward(tape, xhat);
+      Var adv = WeightedBceLoss(prob, tape.Constant(ones), invC);
+      Var rec = WeightedMseLoss(xbar, xC, mC);
+      Var gloss = Add(adv, MulScalar(rec, opts_.alpha));
+      tape.Backward(gloss);
+      gen_adam_.Step(gen_store_, gen_store_.CollectGrads());
+      critic_store_.CollectGrads();
+    }
+  }
+  return Status::OK();
+}
+
+Matrix GinnImputer::Reconstruct(const Dataset& data) const {
+  SCIS_CHECK_MSG(built_, "Reconstruct before Fit");
+  auto* self = const_cast<GinnImputer*>(this);
+  const SparseMatrix graph =
+      BuildKnnGraph(data.values(), data.mask(), opts_.graph_k);
+  Tape tape;
+  return self->GcnForward(tape, graph, data.values(), data.mask()).value();
+}
+
+std::unique_ptr<GenerativeImputer> GinnImputer::CloneArchitecture(
+    uint64_t seed) const {
+  GinnImputerOptions opts = opts_;
+  opts.deep.seed = seed;
+  return std::make_unique<GinnImputer>(opts);
+}
+
+}  // namespace scis

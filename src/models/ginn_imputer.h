@@ -1,0 +1,65 @@
+// GINN — graph imputation neural network (Spinelli et al.).
+//
+// A symmetric kNN similarity graph over the samples (mask-aware distance)
+// feeds a two-layer GCN autoencoder generator:
+//   X̄ = sigmoid( Â · relu( Â [X, M] W1 ) W2 ),  Â = D^{-1/2}(A+I)D^{-1/2}.
+// A 3-layer feed-forward critic (per §VI) predicts per-cell observedness
+// GAIN-style and is trained 5 times per generator step (per §VI).
+//
+// Fit() builds the full O(n²·d) similarity graph — the scalability
+// bottleneck the paper cites for GINN's "-" entries on the million-size
+// datasets. ReconstructOnTape() builds a batch-local graph instead, which
+// is what lets SCIS-GINN (mini-batch DIM training) run where plain GINN
+// cannot.
+#ifndef SCIS_MODELS_GINN_IMPUTER_H_
+#define SCIS_MODELS_GINN_IMPUTER_H_
+
+#include "models/deep_common.h"
+#include "tensor/sparse.h"
+
+namespace scis {
+
+struct GinnImputerOptions {
+  DeepOptions deep;
+  size_t graph_k = 10;       // kNN neighbours in the similarity graph
+  size_t hidden = 32;        // GCN hidden width
+  size_t critic_hidden = 32; // 3-layer FFN critic width
+  int critic_steps = 5;      // critic updates per generator step (§VI)
+  double alpha = 10.0;       // reconstruction weight in the generator loss
+};
+
+class GinnImputer final : public GenerativeImputer {
+ public:
+  explicit GinnImputer(GinnImputerOptions opts = {});
+
+  std::string name() const override { return "GINN"; }
+  Status Fit(const Dataset& data) override;
+  Matrix Reconstruct(const Dataset& data) const override;
+
+  // GenerativeImputer:
+  ParamStore& generator_params() override { return gen_store_; }
+  const ParamStore& generator_params() const override { return gen_store_; }
+  // Builds a batch-local kNN graph and runs the GCN on it.
+  Var ReconstructOnTape(Tape& tape, const Matrix& x, const Matrix& m,
+                        bool train) override;
+  std::unique_ptr<GenerativeImputer> CloneArchitecture(
+      uint64_t seed) const override;
+
+ private:
+  void EnsureBuilt(size_t d);
+  // GCN forward over an externally supplied graph (kept alive by caller).
+  Var GcnForward(Tape& tape, const SparseMatrix& graph, const Matrix& x,
+                 const Matrix& m);
+
+  GinnImputerOptions opts_;
+  Rng rng_;
+  ParamStore gen_store_, critic_store_;
+  Adam gen_adam_, critic_adam_;
+  std::unique_ptr<Linear> gcn1_, gcn2_;
+  std::unique_ptr<Mlp> critic_;
+  bool built_ = false;
+};
+
+}  // namespace scis
+
+#endif  // SCIS_MODELS_GINN_IMPUTER_H_

@@ -1,0 +1,19 @@
+#include "models/imputer.h"
+
+#include "tensor/matrix_ops.h"
+
+namespace scis {
+
+Matrix Imputer::Impute(const Dataset& data) const {
+  Matrix xbar = Reconstruct(data);
+  SCIS_CHECK(xbar.SameShape(data.values()));
+  Matrix out = data.values();
+  for (size_t i = 0; i < out.rows(); ++i) {
+    for (size_t j = 0; j < out.cols(); ++j) {
+      if (!data.IsObserved(i, j)) out(i, j) = xbar(i, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace scis

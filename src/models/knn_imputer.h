@@ -1,0 +1,37 @@
+// k-nearest-neighbour imputation (the "most similar among the training
+// data" family of §II-A, after Twala et al. / Altman). Distance between two
+// incomplete rows is the squared Euclidean distance over their co-observed
+// coordinates, rescaled by the co-observed count; a missing cell is filled
+// by the observed-value average of its k nearest neighbours.
+#ifndef SCIS_MODELS_KNN_IMPUTER_H_
+#define SCIS_MODELS_KNN_IMPUTER_H_
+
+#include "models/imputer.h"
+
+namespace scis {
+
+struct KnnImputerOptions {
+  size_t k = 10;
+  // Training rows are subsampled to this cap (brute-force O(n²) search);
+  // mirrors how the paper's slow baselines become infeasible at scale.
+  size_t max_reference_rows = 4000;
+  uint64_t seed = 7;
+};
+
+class KnnImputer final : public Imputer {
+ public:
+  explicit KnnImputer(KnnImputerOptions opts = {}) : opts_(opts) {}
+
+  std::string name() const override { return "KNN"; }
+  Status Fit(const Dataset& data) override;
+  Matrix Reconstruct(const Dataset& data) const override;
+
+ private:
+  KnnImputerOptions opts_;
+  Dataset reference_;
+  std::vector<double> fallback_means_;
+};
+
+}  // namespace scis
+
+#endif  // SCIS_MODELS_KNN_IMPUTER_H_

@@ -1,0 +1,21 @@
+#include "models/mean_imputer.h"
+
+#include "models/column_stats.h"
+
+namespace scis {
+
+Status MeanImputer::Fit(const Dataset& data) {
+  means_ = ObservedColumnMeans(data);
+  return Status::OK();
+}
+
+Matrix MeanImputer::Reconstruct(const Dataset& data) const {
+  SCIS_CHECK_EQ(means_.size(), data.num_cols());
+  Matrix out(data.num_rows(), data.num_cols());
+  for (size_t i = 0; i < out.rows(); ++i) {
+    for (size_t j = 0; j < out.cols(); ++j) out(i, j) = means_[j];
+  }
+  return out;
+}
+
+}  // namespace scis

@@ -1,0 +1,24 @@
+// Statistical baseline: fills each missing cell with the column's observed
+// mean (the "statistics" family of §II-A).
+#ifndef SCIS_MODELS_MEAN_IMPUTER_H_
+#define SCIS_MODELS_MEAN_IMPUTER_H_
+
+#include <vector>
+
+#include "models/imputer.h"
+
+namespace scis {
+
+class MeanImputer final : public Imputer {
+ public:
+  std::string name() const override { return "Mean"; }
+  Status Fit(const Dataset& data) override;
+  Matrix Reconstruct(const Dataset& data) const override;
+
+ private:
+  std::vector<double> means_;
+};
+
+}  // namespace scis
+
+#endif  // SCIS_MODELS_MEAN_IMPUTER_H_

@@ -1,0 +1,48 @@
+#include "models/median_imputer.h"
+
+#include <algorithm>
+#include <map>
+
+namespace scis {
+
+Status MedianImputer::Fit(const Dataset& data) {
+  const size_t d = data.num_cols();
+  fill_.assign(d, 0.0);
+  std::vector<double> column;
+  for (size_t j = 0; j < d; ++j) {
+    column.clear();
+    for (size_t i = 0; i < data.num_rows(); ++i) {
+      if (data.IsObserved(i, j)) column.push_back(data.values()(i, j));
+    }
+    if (column.empty()) continue;
+    const ColumnKind kind = data.columns()[j].kind;
+    if (kind == ColumnKind::kNumeric) {
+      const size_t mid = column.size() / 2;
+      std::nth_element(column.begin(), column.begin() + mid, column.end());
+      fill_[j] = column[mid];
+    } else {
+      // Mode for binary / categorical columns.
+      std::map<double, size_t> counts;
+      for (double v : column) ++counts[v];
+      size_t best = 0;
+      for (const auto& [value, count] : counts) {
+        if (count > best) {
+          best = count;
+          fill_[j] = value;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Matrix MedianImputer::Reconstruct(const Dataset& data) const {
+  SCIS_CHECK_EQ(fill_.size(), data.num_cols());
+  Matrix out(data.num_rows(), data.num_cols());
+  for (size_t i = 0; i < out.rows(); ++i) {
+    for (size_t j = 0; j < out.cols(); ++j) out(i, j) = fill_[j];
+  }
+  return out;
+}
+
+}  // namespace scis

@@ -1,0 +1,25 @@
+// Statistical baseline: per-column median for numeric columns and mode
+// (majority value) for binary/categorical columns — the robust-statistics
+// variant of the §II-A "substitute with statistics" family.
+#ifndef SCIS_MODELS_MEDIAN_IMPUTER_H_
+#define SCIS_MODELS_MEDIAN_IMPUTER_H_
+
+#include <vector>
+
+#include "models/imputer.h"
+
+namespace scis {
+
+class MedianImputer final : public Imputer {
+ public:
+  std::string name() const override { return "Median"; }
+  Status Fit(const Dataset& data) override;
+  Matrix Reconstruct(const Dataset& data) const override;
+
+ private:
+  std::vector<double> fill_;
+};
+
+}  // namespace scis
+
+#endif  // SCIS_MODELS_MEDIAN_IMPUTER_H_

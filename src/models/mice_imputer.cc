@@ -1,0 +1,97 @@
+#include "models/mice_imputer.h"
+
+#include "models/column_stats.h"
+#include "tensor/linalg.h"
+#include "tensor/matrix_ops.h"
+
+namespace scis {
+
+namespace {
+
+// Design matrix for predicting column j: the other columns of `filled` plus
+// an all-ones intercept column.
+Matrix DesignFor(const Matrix& filled, size_t j,
+                 const std::vector<size_t>& rows) {
+  const size_t d = filled.cols();
+  Matrix x(rows.size(), d);  // d-1 features + intercept
+  for (size_t r = 0; r < rows.size(); ++r) {
+    const double* src = filled.row_data(rows[r]);
+    double* dst = x.row_data(r);
+    size_t c = 0;
+    for (size_t k = 0; k < d; ++k) {
+      if (k == j) continue;
+      dst[c++] = src[k];
+    }
+    dst[c] = 1.0;
+  }
+  return x;
+}
+
+}  // namespace
+
+Status MiceImputer::Fit(const Dataset& data) {
+  const size_t n = data.num_rows(), d = data.num_cols();
+  means_ = ObservedColumnMeans(data);
+  Matrix filled = MeanFill(data);
+  weights_.assign(d, Matrix());
+
+  // Row partitions per column.
+  std::vector<std::vector<size_t>> obs(d), mis(d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      (data.IsObserved(i, j) ? obs[j] : mis[j]).push_back(i);
+    }
+  }
+
+  for (int sweep = 0; sweep < opts_.sweeps; ++sweep) {
+    for (size_t j = 0; j < d; ++j) {
+      if (mis[j].empty() || obs[j].size() < 2) continue;
+      Matrix x = DesignFor(filled, j, obs[j]);
+      Matrix y(obs[j].size(), 1);
+      for (size_t r = 0; r < obs[j].size(); ++r) {
+        y(r, 0) = data.values()(obs[j][r], j);
+      }
+      Result<Matrix> w = RidgeSolve(x, y, opts_.ridge_alpha);
+      if (!w.ok()) continue;  // singular fold: keep previous fill
+      weights_[j] = w.value();
+      Matrix xm = DesignFor(filled, j, mis[j]);
+      Matrix pred = MatMul(xm, weights_[j]);
+      for (size_t r = 0; r < mis[j].size(); ++r) {
+        filled(mis[j][r], j) = pred(r, 0);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Matrix MiceImputer::Reconstruct(const Dataset& data) const {
+  SCIS_CHECK_EQ(means_.size(), data.num_cols());
+  const size_t n = data.num_rows(), d = data.num_cols();
+  Matrix filled = FillMissing(data, means_);
+  // A few chained passes with the trained weights propagate information
+  // between imputed columns, mirroring the training chain.
+  std::vector<size_t> all_rows(n);
+  for (size_t i = 0; i < n; ++i) all_rows[i] = i;
+  for (int pass = 0; pass < 3; ++pass) {
+    for (size_t j = 0; j < d; ++j) {
+      if (weights_[j].empty()) continue;
+      Matrix x = DesignFor(filled, j, all_rows);
+      Matrix pred = MatMul(x, weights_[j]);
+      for (size_t i = 0; i < n; ++i) {
+        if (!data.IsObserved(i, j)) filled(i, j) = pred(i, 0);
+      }
+    }
+  }
+  // Reconstruct() must predict every cell: run the regressions once more
+  // for observed positions too.
+  Matrix out = filled;
+  for (size_t j = 0; j < d; ++j) {
+    if (weights_[j].empty()) continue;
+    Matrix x = DesignFor(filled, j, all_rows);
+    Matrix pred = MatMul(x, weights_[j]);
+    for (size_t i = 0; i < n; ++i) out(i, j) = pred(i, 0);
+  }
+  return out;
+}
+
+}  // namespace scis

@@ -1,0 +1,99 @@
+#include "models/missforest_imputer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "models/column_stats.h"
+
+namespace scis {
+
+Matrix MissForestImputer::DesignWithout(const Matrix& filled,
+                                        size_t j) const {
+  const size_t n = filled.rows(), d = filled.cols();
+  Matrix x(n, d - 1);
+  for (size_t i = 0; i < n; ++i) {
+    const double* src = filled.row_data(i);
+    double* dst = x.row_data(i);
+    size_t c = 0;
+    for (size_t k = 0; k < d; ++k) {
+      if (k != j) dst[c++] = src[k];
+    }
+  }
+  return x;
+}
+
+Status MissForestImputer::Fit(const Dataset& data) {
+  const size_t n = data.num_rows(), d = data.num_cols();
+  means_ = ObservedColumnMeans(data);
+  forests_.assign(d, RandomForest(opts_.forest));
+  Matrix filled = MeanFill(data);
+
+  // Column visit order: least missing first (MissForest heuristic).
+  std::vector<size_t> order(d), missing_count(d, 0);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < d; ++j) missing_count[j] += !data.IsObserved(i, j);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return missing_count[a] < missing_count[b];
+  });
+
+  for (int iter = 0; iter < opts_.max_iters; ++iter) {
+    double change = 0.0;
+    size_t changed = 0;
+    for (size_t j : order) {
+      if (missing_count[j] == 0 || missing_count[j] == n) continue;
+      Matrix x = DesignWithout(filled, j);
+      std::vector<size_t> obs_rows;
+      std::vector<double> y;
+      for (size_t i = 0; i < n; ++i) {
+        if (data.IsObserved(i, j)) {
+          obs_rows.push_back(i);
+          y.push_back(data.values()(i, j));
+        }
+      }
+      Matrix x_obs = x.GatherRows(obs_rows);
+      RandomForest forest(opts_.forest);
+      forest.Fit(x_obs, y);
+      for (size_t i = 0; i < n; ++i) {
+        if (data.IsObserved(i, j)) continue;
+        const double v = forest.Predict(x.row_data(i));
+        const double delta = v - filled(i, j);
+        change += delta * delta;
+        ++changed;
+        filled(i, j) = v;
+      }
+      forests_[j] = std::move(forest);
+    }
+    if (changed == 0 || change / static_cast<double>(changed) < opts_.tol) {
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Matrix MissForestImputer::Reconstruct(const Dataset& data) const {
+  SCIS_CHECK_EQ(means_.size(), data.num_cols());
+  const size_t n = data.num_rows(), d = data.num_cols();
+  Matrix filled = FillMissing(data, means_);
+  // Two passes: the second predicts from refined fills.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t j = 0; j < d; ++j) {
+      if (!forests_[j].fitted()) continue;
+      Matrix x = DesignWithout(filled, j);
+      for (size_t i = 0; i < n; ++i) {
+        if (!data.IsObserved(i, j)) {
+          filled(i, j) = forests_[j].Predict(x.row_data(i));
+        }
+      }
+    }
+  }
+  Matrix out = filled;
+  for (size_t j = 0; j < d; ++j) {
+    if (!forests_[j].fitted()) continue;
+    Matrix x = DesignWithout(filled, j);
+    for (size_t i = 0; i < n; ++i) out(i, j) = forests_[j].Predict(x.row_data(i));
+  }
+  return out;
+}
+
+}  // namespace scis

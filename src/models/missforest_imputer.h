@@ -1,0 +1,41 @@
+// MissForest (Stekhoven & Bühlmann): iterative random-forest imputation.
+// Columns are visited in order of increasing missingness; each incomplete
+// column is regressed on the current completion of the others with a
+// random forest; iterations stop when the completed matrix stops changing.
+// Training fits forests over the entire dataset — the batch-learning cost
+// the paper's scalability comparison highlights (infeasible at million
+// scale; see Table III/IV "-" entries).
+#ifndef SCIS_MODELS_MISSFOREST_IMPUTER_H_
+#define SCIS_MODELS_MISSFOREST_IMPUTER_H_
+
+#include "models/imputer.h"
+#include "models/tree.h"
+
+namespace scis {
+
+struct MissForestImputerOptions {
+  RandomForestOptions forest;  // paper default: 100 trees
+  int max_iters = 5;
+  double tol = 1e-4;  // stop when mean squared change falls below this
+};
+
+class MissForestImputer final : public Imputer {
+ public:
+  explicit MissForestImputer(MissForestImputerOptions opts = {})
+      : opts_(opts) {}
+
+  std::string name() const override { return "MissF"; }
+  Status Fit(const Dataset& data) override;
+  Matrix Reconstruct(const Dataset& data) const override;
+
+ private:
+  Matrix DesignWithout(const Matrix& filled, size_t j) const;
+
+  MissForestImputerOptions opts_;
+  std::vector<double> means_;
+  std::vector<RandomForest> forests_;  // one per column (unfitted if complete)
+};
+
+}  // namespace scis
+
+#endif  // SCIS_MODELS_MISSFOREST_IMPUTER_H_

@@ -1,0 +1,36 @@
+#include "models/mlp_imputer.h"
+
+#include "models/column_stats.h"
+
+namespace scis {
+
+void MlpImputer::BuildModel(size_t d) {
+  std::vector<size_t> dims{2 * d};
+  for (int i = 0; i < mopts_.hidden_layers; ++i) dims.push_back(mopts_.hidden);
+  dims.push_back(d);
+  net_ = std::make_unique<Mlp>(&store_, "datawig", dims, Activation::kRelu,
+                               Activation::kSigmoid, rng_);
+}
+
+Var MlpImputer::Forward(Tape& tape, const Matrix& x, const Matrix& m,
+                        bool train) {
+  Var xin = tape.Constant(ConcatCols(x, m));
+  return net_->ForwardDropout(tape, xin, opts_.dropout, train, rng_);
+}
+
+Var MlpImputer::BuildLoss(Tape& tape, const Matrix& x, const Matrix& m) {
+  Var pred = Forward(tape, x, m, /*train=*/true);
+  Var target = tape.Constant(x);
+  Var weight = tape.Constant(m);
+  return WeightedMseLoss(pred, target, weight);
+}
+
+Matrix MlpImputer::Reconstruct(const Dataset& data) const {
+  SCIS_CHECK_MSG(built_, "Reconstruct before Fit");
+  Tape tape;
+  auto* self = const_cast<MlpImputer*>(this);
+  return self->Forward(tape, data.values(), data.mask(), /*train=*/false)
+      .value();
+}
+
+}  // namespace scis

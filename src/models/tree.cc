@@ -1,0 +1,195 @@
+#include "models/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace scis {
+
+namespace {
+
+double MeanOf(const std::vector<double>& y, const std::vector<size_t>& idx,
+              size_t begin, size_t end) {
+  double acc = 0.0;
+  for (size_t k = begin; k < end; ++k) acc += y[idx[k]];
+  return acc / static_cast<double>(end - begin);
+}
+
+}  // namespace
+
+void RegressionTree::Fit(const Matrix& x, const std::vector<double>& y,
+                         const std::vector<size_t>& idx, Rng& rng) {
+  SCIS_CHECK_EQ(x.rows(), y.size());
+  SCIS_CHECK(!idx.empty());
+  nodes_.clear();
+  std::vector<size_t> work = idx;
+  Build(x, y, work, 0, work.size(), 0, rng);
+}
+
+int RegressionTree::Build(const Matrix& x, const std::vector<double>& y,
+                          std::vector<size_t>& idx, size_t begin, size_t end,
+                          int depth, Rng& rng) {
+  const size_t count = end - begin;
+  const int me = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[me].value = MeanOf(y, idx, begin, end);
+
+  if (depth >= opts_.max_depth || count < 2 * opts_.min_leaf) return me;
+
+  // Candidate features.
+  const size_t d = x.cols();
+  std::vector<size_t> feats;
+  if (opts_.features_per_split == 0 || opts_.features_per_split >= d) {
+    feats.resize(d);
+    std::iota(feats.begin(), feats.end(), 0);
+  } else {
+    feats = rng.SampleWithoutReplacement(d, opts_.features_per_split);
+  }
+
+  // Parent sum-of-squares pieces for variance-reduction scoring.
+  double sum = 0.0;
+  for (size_t k = begin; k < end; ++k) sum += y[idx[k]];
+
+  int best_feat = -1;
+  double best_thr = 0.0, best_score = 0.0;
+  std::vector<double> col(count);
+  for (size_t f : feats) {
+    for (size_t k = 0; k < count; ++k) col[k] = x(idx[begin + k], f);
+    // Quantile thresholds over a sorted copy.
+    std::vector<double> sorted = col;
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.front() == sorted.back()) continue;
+    const size_t nthr = std::min(opts_.max_thresholds, count - 1);
+    for (size_t t = 1; t <= nthr; ++t) {
+      const double thr =
+          sorted[t * (count - 1) / (nthr + 1)];
+      double lsum = 0.0;
+      size_t lcnt = 0;
+      for (size_t k = 0; k < count; ++k) {
+        if (col[k] <= thr) {
+          lsum += y[idx[begin + k]];
+          ++lcnt;
+        }
+      }
+      if (lcnt < opts_.min_leaf || count - lcnt < opts_.min_leaf) continue;
+      const double rsum = sum - lsum;
+      const double rcnt = static_cast<double>(count - lcnt);
+      // Between-group sum of squares (larger = better split).
+      const double score = lsum * lsum / static_cast<double>(lcnt) +
+                           rsum * rsum / rcnt -
+                           sum * sum / static_cast<double>(count);
+      if (score > best_score + 1e-12) {
+        best_score = score;
+        best_feat = static_cast<int>(f);
+        best_thr = thr;
+      }
+    }
+  }
+  if (best_feat < 0) return me;
+
+  // Partition idx[begin,end) in place.
+  const auto mid_it = std::partition(
+      idx.begin() + begin, idx.begin() + end, [&](size_t row) {
+        return x(row, static_cast<size_t>(best_feat)) <= best_thr;
+      });
+  const size_t mid = static_cast<size_t>(mid_it - idx.begin());
+  if (mid == begin || mid == end) return me;
+
+  nodes_[me].feature = best_feat;
+  nodes_[me].threshold = best_thr;
+  const int left = Build(x, y, idx, begin, mid, depth + 1, rng);
+  const int right = Build(x, y, idx, mid, end, depth + 1, rng);
+  nodes_[me].left = left;
+  nodes_[me].right = right;
+  return me;
+}
+
+double RegressionTree::Predict(const double* row) const {
+  SCIS_CHECK(fitted());
+  int cur = 0;
+  while (nodes_[cur].feature >= 0) {
+    cur = row[nodes_[cur].feature] <= nodes_[cur].threshold
+              ? nodes_[cur].left
+              : nodes_[cur].right;
+  }
+  return nodes_[cur].value;
+}
+
+std::vector<double> RegressionTree::PredictAll(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) out[i] = Predict(x.row_data(i));
+  return out;
+}
+
+void RandomForest::Fit(const Matrix& x, const std::vector<double>& y) {
+  SCIS_CHECK_EQ(x.rows(), y.size());
+  SCIS_CHECK_GT(x.rows(), 0u);
+  trees_.clear();
+  Rng rng(opts_.seed);
+  RandomForestOptions opts = opts_;
+  if (opts.tree.features_per_split == 0) {
+    opts.tree.features_per_split = std::max<size_t>(
+        1, static_cast<size_t>(std::sqrt(static_cast<double>(x.cols()))));
+  }
+  const size_t nsub = std::max<size_t>(
+      1, static_cast<size_t>(opts.row_subsample *
+                             static_cast<double>(x.rows())));
+  for (size_t t = 0; t < opts.num_trees; ++t) {
+    std::vector<size_t> idx = rng.SampleWithoutReplacement(x.rows(), nsub);
+    RegressionTree tree(opts.tree);
+    tree.Fit(x, y, idx, rng);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForest::Predict(const double* row) const {
+  SCIS_CHECK(fitted());
+  double acc = 0.0;
+  for (const RegressionTree& t : trees_) acc += t.Predict(row);
+  return acc / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForest::PredictAll(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) out[i] = Predict(x.row_data(i));
+  return out;
+}
+
+void GbdtRegressor::Fit(const Matrix& x, const std::vector<double>& y) {
+  SCIS_CHECK_EQ(x.rows(), y.size());
+  SCIS_CHECK_GT(x.rows(), 0u);
+  trees_.clear();
+  Rng rng(opts_.seed);
+  base_ = std::accumulate(y.begin(), y.end(), 0.0) /
+          static_cast<double>(y.size());
+  std::vector<double> residual(y.size());
+  std::vector<double> pred(y.size(), base_);
+  std::vector<size_t> all(x.rows());
+  std::iota(all.begin(), all.end(), 0);
+  for (size_t round = 0; round < opts_.num_rounds; ++round) {
+    for (size_t i = 0; i < y.size(); ++i) residual[i] = y[i] - pred[i];
+    RegressionTree tree(opts_.tree);
+    tree.Fit(x, residual, all, rng);
+    for (size_t i = 0; i < y.size(); ++i) {
+      pred[i] += opts_.learning_rate * tree.Predict(x.row_data(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double GbdtRegressor::Predict(const double* row) const {
+  SCIS_CHECK(fitted());
+  double acc = base_;
+  for (const RegressionTree& t : trees_) {
+    acc += opts_.learning_rate * t.Predict(row);
+  }
+  return acc;
+}
+
+std::vector<double> GbdtRegressor::PredictAll(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) out[i] = Predict(x.row_data(i));
+  return out;
+}
+
+}  // namespace scis

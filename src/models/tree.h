@@ -1,0 +1,100 @@
+// CART regression trees and a random-forest regressor: the substrate for
+// the MissForest imputer and the boosted Baran-style corrector.
+#ifndef SCIS_MODELS_TREE_H_
+#define SCIS_MODELS_TREE_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "tensor/rng.h"
+
+namespace scis {
+
+struct TreeOptions {
+  int max_depth = 8;
+  size_t min_leaf = 5;
+  // Number of candidate features per split; 0 = all (single trees),
+  // sqrt(d) is the forest default set by RandomForestOptions.
+  size_t features_per_split = 0;
+  // Candidate thresholds are drawn from at most this many quantiles.
+  size_t max_thresholds = 16;
+};
+
+// Binary regression tree with axis-aligned variance-reduction splits.
+class RegressionTree {
+ public:
+  explicit RegressionTree(TreeOptions opts = {}) : opts_(opts) {}
+
+  // Fits on the rows `idx` of x (n,d) against y (n entries).
+  void Fit(const Matrix& x, const std::vector<double>& y,
+           const std::vector<size_t>& idx, Rng& rng);
+
+  double Predict(const double* row) const;
+  std::vector<double> PredictAll(const Matrix& x) const;
+
+  bool fitted() const { return !nodes_.empty(); }
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int feature = -1;      // -1 = leaf
+    double threshold = 0;  // go left if x[feature] <= threshold
+    double value = 0;      // leaf prediction
+    int left = -1, right = -1;
+  };
+  int Build(const Matrix& x, const std::vector<double>& y,
+            std::vector<size_t>& idx, size_t begin, size_t end, int depth,
+            Rng& rng);
+
+  TreeOptions opts_;
+  std::vector<Node> nodes_;
+};
+
+struct RandomForestOptions {
+  size_t num_trees = 100;  // paper §VI: 100 trees in MissForest
+  TreeOptions tree;
+  double row_subsample = 0.8;
+  uint64_t seed = 13;
+};
+
+class RandomForest {
+ public:
+  explicit RandomForest(RandomForestOptions opts = {}) : opts_(opts) {}
+
+  void Fit(const Matrix& x, const std::vector<double>& y);
+  double Predict(const double* row) const;
+  std::vector<double> PredictAll(const Matrix& x) const;
+  bool fitted() const { return !trees_.empty(); }
+
+ private:
+  RandomForestOptions opts_;
+  std::vector<RegressionTree> trees_;
+};
+
+// Gradient-boosted regression trees (squared loss): the prediction engine
+// of the Baran-style imputer (substituting the paper's AdaBoost corrector).
+struct GbdtOptions {
+  size_t num_rounds = 50;
+  double learning_rate = 0.3;  // paper §VI: ML learning rate 0.3
+  TreeOptions tree{4, 10, 0, 16};
+  uint64_t seed = 17;
+};
+
+class GbdtRegressor {
+ public:
+  explicit GbdtRegressor(GbdtOptions opts = {}) : opts_(opts) {}
+
+  void Fit(const Matrix& x, const std::vector<double>& y);
+  double Predict(const double* row) const;
+  std::vector<double> PredictAll(const Matrix& x) const;
+  bool fitted() const { return !trees_.empty(); }
+
+ private:
+  GbdtOptions opts_;
+  double base_ = 0.0;
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace scis
+
+#endif  // SCIS_MODELS_TREE_H_

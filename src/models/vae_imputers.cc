@@ -1,0 +1,268 @@
+#include "models/vae_imputers.h"
+
+#include <cmath>
+
+#include "models/column_stats.h"
+
+namespace scis {
+
+namespace {
+
+// Mean-fills a raw batch with the training means.
+Matrix FillBatch(const Matrix& x, const Matrix& m,
+                 const std::vector<double>& means) {
+  Matrix filled = x;
+  for (size_t i = 0; i < filled.rows(); ++i)
+    for (size_t j = 0; j < filled.cols(); ++j)
+      if (m(i, j) != 1.0) filled(i, j) = means[j];
+  return filled;
+}
+
+}  // namespace
+
+VaeCore::VaeCore(ParamStore* store, const std::string& name, size_t in_dim,
+                 const std::vector<size_t>& enc_hidden, size_t latent,
+                 const std::vector<size_t>& dec_hidden, size_t out_dim,
+                 Rng& rng)
+    : latent_(latent) {
+  std::vector<size_t> enc_dims{in_dim};
+  enc_dims.insert(enc_dims.end(), enc_hidden.begin(), enc_hidden.end());
+  SCIS_CHECK_GE(enc_dims.size(), 1u);
+  const size_t trunk_out = enc_dims.back();
+  if (enc_dims.size() > 1) {
+    enc_trunk_ = std::make_unique<Mlp>(store, name + ".enc", enc_dims,
+                                       Activation::kRelu, Activation::kRelu,
+                                       rng);
+  }
+  mu_head_ = std::make_unique<Linear>(store, name + ".mu", trunk_out, latent,
+                                      Activation::kNone, rng);
+  logvar_head_ = std::make_unique<Linear>(store, name + ".logvar", trunk_out,
+                                          latent, Activation::kNone, rng);
+  std::vector<size_t> dec_dims{latent};
+  dec_dims.insert(dec_dims.end(), dec_hidden.begin(), dec_hidden.end());
+  dec_dims.push_back(out_dim);
+  decoder_ = std::make_unique<Mlp>(store, name + ".dec", dec_dims,
+                                   Activation::kRelu, Activation::kSigmoid,
+                                   rng);
+}
+
+VaeCore::Encoded VaeCore::Encode(Tape& tape, Var x, bool sample,
+                                 Rng& rng) const {
+  Var h = enc_trunk_ ? enc_trunk_->Forward(tape, x) : x;
+  Encoded out;
+  out.mu = mu_head_->Forward(tape, h);
+  out.logvar = logvar_head_->Forward(tape, h);
+  if (sample) {
+    Var eps = tape.Constant(
+        rng.NormalMatrix(out.mu.rows(), out.mu.cols(), 0.0, 1.0));
+    Var stddev = Exp(MulScalar(out.logvar, 0.5));
+    out.z = Add(out.mu, Mul(stddev, eps));
+  } else {
+    out.z = out.mu;
+  }
+  return out;
+}
+
+Var VaeCore::Decode(Tape& tape, Var z) const {
+  return decoder_->Forward(tape, z);
+}
+
+Var VaeCore::KlLoss(Var mu, Var logvar) {
+  // KL(N(mu, e^lv) || N(0,1)) = 0.5 Σ (e^lv + mu² − 1 − lv), meaned per row.
+  const double n = static_cast<double>(mu.rows());
+  Var term = Sub(Add(Exp(logvar), Square(mu)), AddScalar(logvar, 1.0));
+  return MulScalar(Sum(term), 0.5 / n);
+}
+
+// ---------------- VAEI ----------------
+
+void VaeiImputer::BuildModel(size_t d) {
+  core_ = std::make_unique<VaeCore>(
+      &store_, "vaei", d,
+      std::vector<size_t>{vopts_.hidden, vopts_.hidden}, vopts_.latent,
+      std::vector<size_t>{vopts_.hidden, vopts_.hidden}, d, rng_);
+}
+
+Var VaeiImputer::BuildLoss(Tape& tape, const Matrix& x, const Matrix& m) {
+  Var xin = tape.Constant(FillBatch(x, m, train_means_));
+  VaeCore::Encoded enc = core_->Encode(tape, xin, /*sample=*/true, rng_);
+  Var recon = core_->Decode(tape, enc.z);
+  Var mse = WeightedMseLoss(recon, tape.Constant(x), tape.Constant(m));
+  Var kl = VaeCore::KlLoss(enc.mu, enc.logvar);
+  return Add(mse, MulScalar(kl, vopts_.kl_weight));
+}
+
+Matrix VaeiImputer::Reconstruct(const Dataset& data) const {
+  SCIS_CHECK_MSG(built_, "Reconstruct before Fit");
+  Tape tape;
+  Var xin = tape.Constant(FillMissing(data, train_means_));
+  auto* self = const_cast<VaeiImputer*>(this);
+  VaeCore::Encoded enc =
+      core_->Encode(tape, xin, /*sample=*/false, self->rng_);
+  return core_->Decode(tape, enc.z).value();
+}
+
+// ---------------- MIWAE ----------------
+
+void MiwaeImputer::BuildModel(size_t d) {
+  core_ = std::make_unique<VaeCore>(
+      &store_, "miwae", 2 * d, std::vector<size_t>{wopts_.hidden},
+      wopts_.latent, std::vector<size_t>{wopts_.hidden}, d, rng_);
+}
+
+Var MiwaeImputer::BuildLoss(Tape& tape, const Matrix& x, const Matrix& m) {
+  Var xin = tape.Constant(ConcatCols(FillBatch(x, m, train_means_), m));
+  VaeCore::Encoded enc = core_->Encode(tape, xin, /*sample=*/true, rng_);
+  Var target = tape.Constant(x);
+  Var weight = tape.Constant(m);
+
+  if (!wopts_.exact_iwae) {
+    // Averaged-ELBO surrogate (ablation mode).
+    Var total = WeightedMseLoss(core_->Decode(tape, enc.z), target, weight);
+    for (int k = 1; k < wopts_.importance_samples; ++k) {
+      Var eps = tape.Constant(
+          rng_.NormalMatrix(enc.mu.rows(), enc.mu.cols(), 0.0, 1.0));
+      Var z = Add(enc.mu, Mul(Exp(MulScalar(enc.logvar, 0.5)), eps));
+      total =
+          Add(total, WeightedMseLoss(core_->Decode(tape, z), target, weight));
+    }
+    Var recon = MulScalar(total, 1.0 / wopts_.importance_samples);
+    return Add(recon, MulScalar(VaeCore::KlLoss(enc.mu, enc.logvar),
+                                wopts_.kl_weight));
+  }
+
+  // Exact K-sample IWAE bound. Per sample k the per-row log weight is
+  //   log w_k = log p(x_obs|z_k) + log p(z_k) − log q(z_k|x)
+  // with Gaussian terms (constants dropped — they cancel in gradients):
+  //   log p(x_obs|z) = −Σ_f m·(dec−x)² / (2σ²)
+  //   log p(z)       = −½ Σ_l z²
+  //   log q(z|x)     = −½ Σ_l (ε² + logvar)      [z = μ + e^{lv/2} ε]
+  const double inv2var =
+      1.0 / (2.0 * wopts_.obs_stddev * wopts_.obs_stddev);
+  const size_t n = x.rows();
+  Var logw_all;  // (n, K), built by column concatenation
+  for (int k = 0; k < wopts_.importance_samples; ++k) {
+    Matrix eps_mat =
+        rng_.NormalMatrix(enc.mu.rows(), enc.mu.cols(), 0.0, 1.0);
+    // Σ ε² per row is constant w.r.t. parameters.
+    Matrix eps2_row(n, 1);
+    for (size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (size_t l = 0; l < eps_mat.cols(); ++l) {
+        acc += eps_mat(i, l) * eps_mat(i, l);
+      }
+      eps2_row(i, 0) = acc;
+    }
+    Var eps = tape.Constant(std::move(eps_mat));
+    Var z = Add(enc.mu, Mul(Exp(MulScalar(enc.logvar, 0.5)), eps));
+    Var dec = core_->Decode(tape, z);
+    Var logp_x = MulScalar(
+        RowSum(Mul(Square(Sub(dec, target)), weight)), -inv2var);
+    Var logp_z = MulScalar(RowSum(Square(z)), -0.5);
+    Var logq = MulScalar(
+        Add(RowSum(enc.logvar), tape.Constant(eps2_row)), -0.5);
+    Var logw = Sub(Add(logp_x, logp_z), logq);  // (n,1)
+    logw_all = k == 0 ? logw : ConcatCols(logw_all, logw);
+  }
+  // −mean_i [ LSE_k log w_ik − log K ]; the log K shift is constant.
+  return MulScalar(Mean(RowLogSumExp(logw_all)), -1.0);
+}
+
+Matrix MiwaeImputer::Reconstruct(const Dataset& data) const {
+  SCIS_CHECK_MSG(built_, "Reconstruct before Fit");
+  auto* self = const_cast<MiwaeImputer*>(this);
+  const size_t n = data.num_rows(), d = data.num_cols();
+  Matrix filled = FillMissing(data, train_means_);
+  Tape tape;
+  Var xin = tape.Constant(ConcatCols(filled, data.mask()));
+  VaeCore::Encoded enc = core_->Encode(tape, xin, /*sample=*/false, self->rng_);
+  const Matrix& mu = enc.mu.value();
+  const Matrix& logvar = enc.logvar.value();
+
+  // Self-normalized importance sampling: weight each decoded sample by the
+  // Gaussian likelihood of the observed cells.
+  Matrix acc(n, d);
+  Matrix wsum(n, 1);
+  const double inv_2var = 1.0 / (2.0 * wopts_.obs_stddev * wopts_.obs_stddev);
+  for (int k = 0; k < wopts_.importance_samples; ++k) {
+    Matrix z = mu;
+    for (size_t i = 0; i < z.rows(); ++i)
+      for (size_t j = 0; j < z.cols(); ++j)
+        z(i, j) += std::exp(0.5 * logvar(i, j)) * self->rng_.Normal();
+    Tape t2;
+    Matrix dec = core_->Decode(t2, t2.Constant(z)).value();
+    for (size_t i = 0; i < n; ++i) {
+      double loglik = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        if (data.IsObserved(i, j)) {
+          const double e = dec(i, j) - data.values()(i, j);
+          loglik -= e * e * inv_2var;
+        }
+      }
+      const double w = std::exp(std::max(loglik, -30.0));
+      wsum(i, 0) += w;
+      for (size_t j = 0; j < d; ++j) acc(i, j) += w * dec(i, j);
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const double w = wsum(i, 0) > 0 ? wsum(i, 0) : 1.0;
+    for (size_t j = 0; j < d; ++j) acc(i, j) /= w;
+  }
+  return acc;
+}
+
+// ---------------- EDDI ----------------
+
+void EddiImputer::BuildModel(size_t d) {
+  // Partial VAE: evidence is the masked values plus the mask itself.
+  core_ = std::make_unique<VaeCore>(
+      &store_, "eddi", 2 * d, std::vector<size_t>{eopts_.hidden},
+      eopts_.latent, std::vector<size_t>{eopts_.hidden}, d, rng_);
+}
+
+Var EddiImputer::BuildLoss(Tape& tape, const Matrix& x, const Matrix& m) {
+  Var xin = tape.Constant(ConcatCols(x, m));  // x already has missing = 0
+  VaeCore::Encoded enc = core_->Encode(tape, xin, /*sample=*/true, rng_);
+  Var recon = core_->Decode(tape, enc.z);
+  Var mse = WeightedMseLoss(recon, tape.Constant(x), tape.Constant(m));
+  return Add(mse, MulScalar(VaeCore::KlLoss(enc.mu, enc.logvar),
+                            eopts_.kl_weight));
+}
+
+Matrix EddiImputer::Reconstruct(const Dataset& data) const {
+  SCIS_CHECK_MSG(built_, "Reconstruct before Fit");
+  auto* self = const_cast<EddiImputer*>(this);
+  Tape tape;
+  Var xin = tape.Constant(ConcatCols(data.values(), data.mask()));
+  VaeCore::Encoded enc = core_->Encode(tape, xin, /*sample=*/false, self->rng_);
+  return core_->Decode(tape, enc.z).value();
+}
+
+// ---------------- HIVAE ----------------
+
+void HivaeImputer::BuildModel(size_t d) {
+  core_ = std::make_unique<VaeCore>(
+      &store_, "hivae", 2 * d, std::vector<size_t>{hopts_.hidden},
+      hopts_.latent, std::vector<size_t>{hopts_.hidden}, d, rng_);
+}
+
+Var HivaeImputer::BuildLoss(Tape& tape, const Matrix& x, const Matrix& m) {
+  Var xin = tape.Constant(ConcatCols(FillBatch(x, m, train_means_), m));
+  VaeCore::Encoded enc = core_->Encode(tape, xin, /*sample=*/true, rng_);
+  Var recon = core_->Decode(tape, enc.z);
+  Var mse = WeightedMseLoss(recon, tape.Constant(x), tape.Constant(m));
+  return Add(mse, MulScalar(VaeCore::KlLoss(enc.mu, enc.logvar),
+                            hopts_.kl_weight));
+}
+
+Matrix HivaeImputer::Reconstruct(const Dataset& data) const {
+  SCIS_CHECK_MSG(built_, "Reconstruct before Fit");
+  auto* self = const_cast<HivaeImputer*>(this);
+  Tape tape;
+  Var xin = tape.Constant(
+      ConcatCols(FillMissing(data, train_means_), data.mask()));
+  VaeCore::Encoded enc = core_->Encode(tape, xin, /*sample=*/false, self->rng_);
+  return core_->Decode(tape, enc.z).value();
+}
+
+}  // namespace scis

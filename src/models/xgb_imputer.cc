@@ -1,0 +1,187 @@
+#include "models/xgb_imputer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "models/column_stats.h"
+
+namespace scis {
+
+namespace {
+// Structure score of a node holding gradient sum G (squared loss: hessian
+// per point is 2): −½ G²/(H + λ). Gains compare children vs parent.
+double NodeScore(double gsum, double hsum, double reg_lambda) {
+  return gsum * gsum / (hsum + reg_lambda);
+}
+}  // namespace
+
+void XgbRegressor::Fit(const Matrix& x, const std::vector<double>& y) {
+  SCIS_CHECK_EQ(x.rows(), y.size());
+  SCIS_CHECK_GT(x.rows(), 0u);
+  trees_.clear();
+  Rng rng(opts_.seed);
+  base_ = std::accumulate(y.begin(), y.end(), 0.0) /
+          static_cast<double>(y.size());
+  std::vector<double> pred(y.size(), base_);
+  std::vector<double> grad(y.size());
+  std::vector<size_t> idx(x.rows());
+  for (size_t round = 0; round < opts_.num_rounds; ++round) {
+    // Squared loss: g_i = 2(pred − y), h_i = 2.
+    for (size_t i = 0; i < y.size(); ++i) grad[i] = 2.0 * (pred[i] - y[i]);
+    std::iota(idx.begin(), idx.end(), 0);
+    Tree tree;
+    Build(tree, x, grad, idx, 0, idx.size(), 0, rng);
+    trees_.push_back(tree);
+    for (size_t i = 0; i < y.size(); ++i) {
+      const double* row = x.row_data(i);
+      int cur = 0;
+      while (tree.nodes[cur].feature >= 0) {
+        cur = row[tree.nodes[cur].feature] <= tree.nodes[cur].threshold
+                  ? tree.nodes[cur].left
+                  : tree.nodes[cur].right;
+      }
+      pred[i] += opts_.learning_rate * tree.nodes[cur].weight;
+    }
+  }
+}
+
+int XgbRegressor::Build(Tree& tree, const Matrix& x,
+                        const std::vector<double>& grad,
+                        std::vector<size_t>& idx, size_t begin, size_t end,
+                        int depth, Rng& rng) {
+  const size_t count = end - begin;
+  const int me = static_cast<int>(tree.nodes.size());
+  tree.nodes.emplace_back();
+  double gsum = 0.0;
+  for (size_t k = begin; k < end; ++k) gsum += grad[idx[k]];
+  const double hsum = 2.0 * static_cast<double>(count);
+  // Newton leaf weight: −G/(H + λ).
+  tree.nodes[me].weight = -gsum / (hsum + opts_.reg_lambda);
+
+  if (depth >= opts_.max_depth || count < 2 * opts_.min_leaf) return me;
+
+  const size_t d = x.cols();
+  int best_feat = -1;
+  double best_thr = 0.0;
+  double best_gain = 0.0;
+  const double parent_score = NodeScore(gsum, hsum, opts_.reg_lambda);
+  std::vector<double> col(count);
+  for (size_t f = 0; f < d; ++f) {
+    for (size_t k = 0; k < count; ++k) col[k] = x(idx[begin + k], f);
+    std::vector<double> sorted = col;
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.front() == sorted.back()) continue;
+    const size_t nthr = std::min(opts_.max_thresholds, count - 1);
+    for (size_t t = 1; t <= nthr; ++t) {
+      const double thr = sorted[t * (count - 1) / (nthr + 1)];
+      double gl = 0.0;
+      size_t cl = 0;
+      for (size_t k = 0; k < count; ++k) {
+        if (col[k] <= thr) {
+          gl += grad[idx[begin + k]];
+          ++cl;
+        }
+      }
+      if (cl < opts_.min_leaf || count - cl < opts_.min_leaf) continue;
+      const double hl = 2.0 * static_cast<double>(cl);
+      const double hr = hsum - hl;
+      // XGBoost gain: ½(score_L + score_R − score_parent) − γ.
+      const double gain = 0.5 * (NodeScore(gl, hl, opts_.reg_lambda) +
+                                 NodeScore(gsum - gl, hr, opts_.reg_lambda) -
+                                 parent_score) -
+                          opts_.gamma;
+      if (gain > best_gain + 1e-12) {
+        best_gain = gain;
+        best_feat = static_cast<int>(f);
+        best_thr = thr;
+      }
+    }
+  }
+  if (best_feat < 0) return me;
+
+  const auto mid_it = std::partition(
+      idx.begin() + begin, idx.begin() + end, [&](size_t row) {
+        return x(row, static_cast<size_t>(best_feat)) <= best_thr;
+      });
+  const size_t mid = static_cast<size_t>(mid_it - idx.begin());
+  if (mid == begin || mid == end) return me;
+
+  tree.nodes[me].feature = best_feat;
+  tree.nodes[me].threshold = best_thr;
+  const int left = Build(tree, x, grad, idx, begin, mid, depth + 1, rng);
+  const int right = Build(tree, x, grad, idx, mid, end, depth + 1, rng);
+  tree.nodes[me].left = left;
+  tree.nodes[me].right = right;
+  return me;
+}
+
+double XgbRegressor::Predict(const double* row) const {
+  SCIS_CHECK(fitted());
+  double acc = base_;
+  for (const Tree& tree : trees_) {
+    int cur = 0;
+    while (tree.nodes[cur].feature >= 0) {
+      cur = row[tree.nodes[cur].feature] <= tree.nodes[cur].threshold
+                ? tree.nodes[cur].left
+                : tree.nodes[cur].right;
+    }
+    acc += opts_.learning_rate * tree.nodes[cur].weight;
+  }
+  return acc;
+}
+
+Status XgbImputer::Fit(const Dataset& data) {
+  const size_t n = data.num_rows(), d = data.num_cols();
+  means_ = ObservedColumnMeans(data);
+  models_.assign(d, XgbRegressor(opts_.xgb));
+  Matrix filled = MeanFill(data);
+  for (size_t j = 0; j < d; ++j) {
+    std::vector<size_t> obs_rows;
+    std::vector<double> y;
+    for (size_t i = 0; i < n; ++i) {
+      if (data.IsObserved(i, j)) {
+        obs_rows.push_back(i);
+        y.push_back(data.values()(i, j));
+      }
+    }
+    if (obs_rows.size() < 2 * opts_.xgb.min_leaf || obs_rows.size() == n) {
+      continue;
+    }
+    // Context: the other columns of the current fill.
+    Matrix ctx(obs_rows.size(), d - 1);
+    for (size_t r = 0; r < obs_rows.size(); ++r) {
+      const double* src = filled.row_data(obs_rows[r]);
+      double* dst = ctx.row_data(r);
+      size_t c = 0;
+      for (size_t k = 0; k < d; ++k) {
+        if (k != j) dst[c++] = src[k];
+      }
+    }
+    XgbRegressor model(opts_.xgb);
+    model.Fit(ctx, y);
+    models_[j] = std::move(model);
+  }
+  return Status::OK();
+}
+
+Matrix XgbImputer::Reconstruct(const Dataset& data) const {
+  SCIS_CHECK_EQ(means_.size(), data.num_cols());
+  const size_t n = data.num_rows(), d = data.num_cols();
+  Matrix filled = FillMissing(data, means_);
+  Matrix out = filled;
+  std::vector<double> ctx(d - 1);
+  for (size_t j = 0; j < d; ++j) {
+    if (!models_[j].fitted()) continue;
+    for (size_t i = 0; i < n; ++i) {
+      const double* src = filled.row_data(i);
+      size_t c = 0;
+      for (size_t k = 0; k < d; ++k) {
+        if (k != j) ctx[c++] = src[k];
+      }
+      out(i, j) = models_[j].Predict(ctx.data());
+    }
+  }
+  return out;
+}
+
+}  // namespace scis

@@ -1,0 +1,24 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace scis {
+
+Matrix InitWeight(InitKind kind, size_t fan_in, size_t fan_out, Rng& rng) {
+  switch (kind) {
+    case InitKind::kXavierUniform: {
+      const double limit =
+          std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+      return rng.UniformMatrix(fan_in, fan_out, -limit, limit);
+    }
+    case InitKind::kHeNormal: {
+      const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+      return rng.NormalMatrix(fan_in, fan_out, 0.0, stddev);
+    }
+    case InitKind::kZeros:
+      return Matrix::Zeros(fan_in, fan_out);
+  }
+  return Matrix::Zeros(fan_in, fan_out);
+}
+
+}  // namespace scis

@@ -1,0 +1,21 @@
+// Weight initializers.
+#ifndef SCIS_NN_INIT_H_
+#define SCIS_NN_INIT_H_
+
+#include "tensor/matrix.h"
+#include "tensor/rng.h"
+
+namespace scis {
+
+enum class InitKind {
+  kXavierUniform,  // U(±sqrt(6/(fan_in+fan_out))) — default for sigmoid/tanh
+  kHeNormal,       // N(0, sqrt(2/fan_in)) — for relu
+  kZeros,
+};
+
+// (fan_in, fan_out)-shaped weight matrix initialized per `kind`.
+Matrix InitWeight(InitKind kind, size_t fan_in, size_t fan_out, Rng& rng);
+
+}  // namespace scis
+
+#endif  // SCIS_NN_INIT_H_

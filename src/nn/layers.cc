@@ -1,0 +1,76 @@
+#include "nn/layers.h"
+
+namespace scis {
+
+Var Apply(Activation act, Var x) {
+  switch (act) {
+    case Activation::kNone:
+      return x;
+    case Activation::kSigmoid:
+      return Sigmoid(x);
+    case Activation::kRelu:
+      return Relu(x);
+    case Activation::kTanh:
+      return Tanh(x);
+    case Activation::kSoftplus:
+      return Softplus(x);
+  }
+  return x;
+}
+
+Linear::Linear(ParamStore* store, const std::string& name, size_t in,
+               size_t out, Activation act, Rng& rng, InitKind init)
+    : store_(store), in_(in), out_(out), act_(act) {
+  w_ = store->Add(name + ".W", InitWeight(init, in, out, rng));
+  b_ = store->Add(name + ".b", Matrix::Zeros(1, out));
+}
+
+Var Linear::Forward(Tape& tape, Var x) const {
+  SCIS_CHECK_EQ(x.cols(), in_);
+  Var w = store_->Bind(tape, w_);
+  Var b = store_->Bind(tape, b_);
+  return Apply(act_, AddRowBroadcast(MatMul(x, w), b));
+}
+
+Var Dropout(Var x, double rate, bool train, Rng& rng) {
+  if (!train || rate <= 0.0) return x;
+  SCIS_CHECK_LT(rate, 1.0);
+  const double keep = 1.0 - rate;
+  Matrix mask = rng.BernoulliMatrix(x.rows(), x.cols(), keep);
+  MulScalarInPlace(mask, 1.0 / keep);
+  Var m = x.tape()->Constant(std::move(mask));
+  return Mul(x, m);
+}
+
+Mlp::Mlp(ParamStore* store, const std::string& name,
+         const std::vector<size_t>& dims, Activation hidden_act,
+         Activation out_act, Rng& rng) {
+  SCIS_CHECK_GE(dims.size(), 2u);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    const bool last = (i + 2 == dims.size());
+    const Activation act = last ? out_act : hidden_act;
+    const InitKind init = (hidden_act == Activation::kRelu && !last)
+                              ? InitKind::kHeNormal
+                              : InitKind::kXavierUniform;
+    layers_.emplace_back(store, name + ".l" + std::to_string(i), dims[i],
+                         dims[i + 1], act, rng, init);
+  }
+}
+
+Var Mlp::Forward(Tape& tape, Var x) const {
+  Var h = x;
+  for (const Linear& l : layers_) h = l.Forward(tape, h);
+  return h;
+}
+
+Var Mlp::ForwardDropout(Tape& tape, Var x, double rate, bool train,
+                        Rng& rng) const {
+  Var h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(tape, h);
+    if (i + 1 < layers_.size()) h = Dropout(h, rate, train, rng);
+  }
+  return h;
+}
+
+}  // namespace scis

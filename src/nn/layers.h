@@ -1,0 +1,70 @@
+// Neural-network building blocks over the autodiff tape: Linear, Dropout,
+// and the multi-layer perceptron used by every deep imputer in the paper
+// (GAIN/GINN generators & discriminators, AE encoders/decoders, DataWig).
+#ifndef SCIS_NN_LAYERS_H_
+#define SCIS_NN_LAYERS_H_
+
+#include <string>
+#include <vector>
+
+#include "autodiff/tape.h"
+#include "nn/init.h"
+#include "nn/param_store.h"
+
+namespace scis {
+
+enum class Activation { kNone, kSigmoid, kRelu, kTanh, kSoftplus };
+
+// Applies `act` to `x` on x's tape.
+Var Apply(Activation act, Var x);
+
+// Fully-connected layer y = act(x W + b). Parameters are registered in the
+// given ParamStore; Forward binds them on the caller's tape.
+class Linear {
+ public:
+  Linear(ParamStore* store, const std::string& name, size_t in, size_t out,
+         Activation act, Rng& rng,
+         InitKind init = InitKind::kXavierUniform);
+
+  Var Forward(Tape& tape, Var x) const;
+
+  size_t in_dim() const { return in_; }
+  size_t out_dim() const { return out_; }
+
+ private:
+  ParamStore* store_;
+  size_t in_, out_;
+  Activation act_;
+  ParamStore::ParamId w_, b_;
+};
+
+// Inverted dropout: active only when `train` is true; scales kept units by
+// 1/(1-rate) so inference needs no rescaling. The paper trains all deep
+// baselines with dropout rate 0.5.
+Var Dropout(Var x, double rate, bool train, Rng& rng);
+
+// Stack of Linear layers: hidden layers use `hidden_act`, the final layer
+// `out_act`.
+class Mlp {
+ public:
+  // dims = {in, h1, ..., out}; needs at least {in, out}.
+  Mlp(ParamStore* store, const std::string& name,
+      const std::vector<size_t>& dims, Activation hidden_act,
+      Activation out_act, Rng& rng);
+
+  Var Forward(Tape& tape, Var x) const;
+  // Forward with dropout `rate` after each hidden activation when training.
+  Var ForwardDropout(Tape& tape, Var x, double rate, bool train,
+                     Rng& rng) const;
+
+  size_t in_dim() const { return layers_.front().in_dim(); }
+  size_t out_dim() const { return layers_.back().out_dim(); }
+  size_t num_layers() const { return layers_.size(); }
+
+ private:
+  std::vector<Linear> layers_;
+};
+
+}  // namespace scis
+
+#endif  // SCIS_NN_LAYERS_H_

@@ -1,0 +1,57 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace scis {
+
+void Sgd::Step(ParamStore& store, const std::vector<Matrix>& grads) {
+  SCIS_CHECK_EQ(grads.size(), store.size());
+  if (momentum_ > 0.0 && velocity_.empty()) {
+    velocity_.reserve(grads.size());
+    for (const Matrix& g : grads) velocity_.emplace_back(g.rows(), g.cols());
+  }
+  for (size_t i = 0; i < grads.size(); ++i) {
+    Matrix& p = store.value(i);
+    if (momentum_ > 0.0) {
+      Matrix& vel = velocity_[i];
+      MulScalarInPlace(vel, momentum_);
+      AxpyInPlace(vel, 1.0, grads[i]);
+      AxpyInPlace(p, -lr_, vel);
+    } else {
+      AxpyInPlace(p, -lr_, grads[i]);
+    }
+  }
+}
+
+void Adam::Step(ParamStore& store, const std::vector<Matrix>& grads) {
+  SCIS_CHECK_EQ(grads.size(), store.size());
+  if (m_.empty()) {
+    m_.reserve(grads.size());
+    v_.reserve(grads.size());
+    for (const Matrix& g : grads) {
+      m_.emplace_back(g.rows(), g.cols());
+      v_.emplace_back(g.rows(), g.cols());
+    }
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t i = 0; i < grads.size(); ++i) {
+    Matrix& p = store.value(i);
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    const double* g = grads[i].data();
+    double* pm = m.data();
+    double* pv = v.data();
+    double* pp = p.data();
+    for (size_t k = 0; k < p.size(); ++k) {
+      pm[k] = beta1_ * pm[k] + (1.0 - beta1_) * g[k];
+      pv[k] = beta2_ * pv[k] + (1.0 - beta2_) * g[k] * g[k];
+      const double mhat = pm[k] / bc1;
+      const double vhat = pv[k] / bc2;
+      pp[k] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace scis

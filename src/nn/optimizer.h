@@ -1,0 +1,58 @@
+// First-order optimizers over a ParamStore. The paper trains all deep
+// models with ADAM (lr 0.001) and the downstream predictors with lr 0.005.
+#ifndef SCIS_NN_OPTIMIZER_H_
+#define SCIS_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/param_store.h"
+
+namespace scis {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  // Applies one update from gradients aligned with the store's registration
+  // order (as returned by ParamStore::CollectGrads).
+  virtual void Step(ParamStore& store, const std::vector<Matrix>& grads) = 0;
+  virtual void Reset() = 0;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.0)
+      : lr_(lr), momentum_(momentum) {}
+
+  void Step(ParamStore& store, const std::vector<Matrix>& grads) override;
+  void Reset() override { velocity_.clear(); }
+
+ private:
+  double lr_, momentum_;
+  std::vector<Matrix> velocity_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double lr = 1e-3, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+  void Step(ParamStore& store, const std::vector<Matrix>& grads) override;
+  void Reset() override {
+    m_.clear();
+    v_.clear();
+    t_ = 0;
+  }
+
+  double lr() const { return lr_; }
+  void set_lr(double lr) { lr_ = lr; }
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  std::vector<Matrix> m_, v_;
+  long t_ = 0;
+};
+
+}  // namespace scis
+
+#endif  // SCIS_NN_OPTIMIZER_H_

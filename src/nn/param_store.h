@@ -1,0 +1,59 @@
+// Central registry for trainable parameters.
+//
+// Parameters live here as plain matrices between steps. Each training step
+// the model Bind()s them onto a fresh Tape as differentiable leaves, runs
+// forward/backward, then CollectGrads() gathers the leaf gradients in
+// registration order for the optimizer. The store can also flatten all
+// parameters into one vector — the "θ" that SSE's Theorem 1 reasons about.
+#ifndef SCIS_NN_PARAM_STORE_H_
+#define SCIS_NN_PARAM_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "autodiff/tape.h"
+#include "tensor/matrix.h"
+
+namespace scis {
+
+class ParamStore {
+ public:
+  using ParamId = size_t;
+
+  ParamId Add(std::string name, Matrix init);
+
+  size_t size() const { return params_.size(); }
+  const std::string& name(ParamId id) const { return params_[id].name; }
+  Matrix& value(ParamId id) { return params_[id].value; }
+  const Matrix& value(ParamId id) const { return params_[id].value; }
+
+  // Creates a differentiable leaf for param `id` on `tape` and remembers the
+  // binding so CollectGrads can read its gradient after Backward().
+  Var Bind(Tape& tape, ParamId id);
+
+  // Gradients of all parameters w.r.t. the last Backward() on the bound
+  // tape, in registration order (zero matrices for unbound params).
+  // Clears the bindings.
+  std::vector<Matrix> CollectGrads();
+
+  // Total number of scalar parameters.
+  size_t NumScalars() const;
+  // Flattens all parameter values into one vector (registration order,
+  // row-major within each matrix).
+  std::vector<double> ToFlat() const;
+  // Restores parameter values from a flat vector produced by ToFlat().
+  void FromFlat(const std::vector<double>& flat);
+
+ private:
+  struct Entry {
+    std::string name;
+    Matrix value;
+    uint64_t bound_tape_id = 0;  // Tape::id(), 0 = unbound
+    Var bound_var;
+  };
+  std::vector<Entry> params_;
+};
+
+}  // namespace scis
+
+#endif  // SCIS_NN_PARAM_STORE_H_

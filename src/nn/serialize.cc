@@ -1,0 +1,63 @@
+#include "nn/serialize.h"
+
+#include <fstream>
+#include <iomanip>
+
+namespace scis {
+
+Status SaveParams(const ParamStore& store, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << "scis-params v1\n" << store.size() << "\n";
+  out << std::setprecision(17);
+  for (size_t id = 0; id < store.size(); ++id) {
+    const Matrix& m = store.value(id);
+    out << store.name(id) << " " << m.rows() << " " << m.cols() << "\n";
+    for (size_t k = 0; k < m.size(); ++k) {
+      if (k) out << ' ';
+      out << m[k];
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadParams(ParamStore& store, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::string magic, version;
+  in >> magic >> version;
+  if (magic != "scis-params" || version != "v1") {
+    return Status::InvalidArgument("not a scis-params v1 file: " + path);
+  }
+  size_t count = 0;
+  in >> count;
+  if (count != store.size()) {
+    return Status::InvalidArgument(
+        "parameter count mismatch: file has " + std::to_string(count) +
+        ", store has " + std::to_string(store.size()));
+  }
+  for (size_t id = 0; id < count; ++id) {
+    std::string name;
+    size_t rows = 0, cols = 0;
+    in >> name >> rows >> cols;
+    if (!in) return Status::IoError("truncated header in " + path);
+    if (name != store.name(id)) {
+      return Status::InvalidArgument("parameter name mismatch at index " +
+                                     std::to_string(id) + ": file '" + name +
+                                     "' vs store '" + store.name(id) + "'");
+    }
+    Matrix& m = store.value(id);
+    if (rows != m.rows() || cols != m.cols()) {
+      return Status::InvalidArgument("shape mismatch for " + name);
+    }
+    for (size_t k = 0; k < m.size(); ++k) {
+      in >> m[k];
+    }
+    if (!in) return Status::IoError("truncated values in " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace scis

@@ -1,0 +1,28 @@
+// Parameter (de)serialization: a plain-text format so trained models can
+// be checkpointed and shipped (e.g. train SCIS once, impute many files
+// with tools/scis_impute). Format:
+//   scis-params v1
+//   <num_params>
+//   <name> <rows> <cols>
+//   <rows*cols doubles, space-separated, full precision>
+//   ...
+#ifndef SCIS_NN_SERIALIZE_H_
+#define SCIS_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "nn/param_store.h"
+
+namespace scis {
+
+// Writes every parameter in `store` to `path`.
+Status SaveParams(const ParamStore& store, const std::string& path);
+
+// Restores values into an already-built `store`; parameter names, count,
+// order, and shapes must match exactly (architecture is not serialized).
+Status LoadParams(ParamStore& store, const std::string& path);
+
+}  // namespace scis
+
+#endif  // SCIS_NN_SERIALIZE_H_

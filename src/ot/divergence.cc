@@ -1,0 +1,76 @@
+#include "ot/divergence.h"
+
+#include "common/check.h"
+#include "ot/masked_cost.h"
+#include "tensor/matrix_ops.h"
+
+namespace scis {
+
+DivergenceResult MsDivergenceMasked(const Matrix& a, const Matrix& ma,
+                                    const Matrix& b, const Matrix& mb,
+                                    const SinkhornOptions& opts,
+                                    bool with_grad) {
+  SCIS_CHECK(a.SameShape(ma));
+  SCIS_CHECK(b.SameShape(mb));
+  SCIS_CHECK_EQ(a.cols(), b.cols());
+
+  const Matrix cost_ab = MaskedCostMatrix(a, ma, b, mb);
+  const Matrix cost_aa = MaskedCostMatrix(a, ma, a, ma);
+  const Matrix cost_bb = MaskedCostMatrix(b, mb, b, mb);
+
+  const SinkhornSolution ab = SolveSinkhorn(cost_ab, opts);
+  const SinkhornSolution aa = SolveSinkhorn(cost_aa, opts);
+  const SinkhornSolution bb = SolveSinkhorn(cost_bb, opts);
+
+  DivergenceResult out;
+  out.value = 2.0 * ab.reg_value - aa.reg_value - bb.reg_value;
+
+  if (with_grad) {
+    // Cross term: X̄ appears only as the source measure.
+    Matrix g = MaskedOtGradWrtA(ab.plan, a, ma, b, mb);
+    MulScalarInPlace(g, 2.0);
+    // Self term: X̄ is both source and target; subtract both envelope parts.
+    Matrix gs = MaskedOtGradWrtA(aa.plan, a, ma, a, ma);
+    AddInPlace(gs, MaskedOtGradWrtB(aa.plan, a, ma, a, ma));
+    SubInPlace(g, gs);
+    out.grad_xbar = std::move(g);
+  }
+  return out;
+}
+
+DivergenceResult MsDivergence(const Matrix& xbar, const Matrix& x,
+                              const Matrix& m, const SinkhornOptions& opts,
+                              bool with_grad) {
+  return MsDivergenceMasked(xbar, m, x, m, opts, with_grad);
+}
+
+DivergenceResult MsDivergenceForTraining(const Matrix& xbar, const Matrix& x,
+                                         const Matrix& m,
+                                         const SinkhornOptions& opts) {
+  SCIS_CHECK(xbar.SameShape(x));
+  SCIS_CHECK(xbar.SameShape(m));
+  const Matrix cost_ab = MaskedCostMatrix(xbar, m, x, m);
+  const Matrix cost_aa = MaskedCostMatrix(xbar, m, xbar, m);
+  const SinkhornSolution ab = SolveSinkhorn(cost_ab, opts);
+  const SinkhornSolution aa = SolveSinkhorn(cost_aa, opts);
+
+  DivergenceResult out;
+  out.value = 2.0 * ab.reg_value - aa.reg_value;
+  Matrix g = MaskedOtGradWrtA(ab.plan, xbar, m, x, m);
+  MulScalarInPlace(g, 2.0);
+  Matrix gs = MaskedOtGradWrtA(aa.plan, xbar, m, xbar, m);
+  AddInPlace(gs, MaskedOtGradWrtB(aa.plan, xbar, m, xbar, m));
+  SubInPlace(g, gs);
+  out.grad_xbar = std::move(g);
+  return out;
+}
+
+DivergenceResult SinkhornDivergence(const Matrix& a, const Matrix& b,
+                                    const SinkhornOptions& opts,
+                                    bool with_grad) {
+  const Matrix ones_a = Matrix::Ones(a.rows(), a.cols());
+  const Matrix ones_b = Matrix::Ones(b.rows(), b.cols());
+  return MsDivergenceMasked(a, ones_a, b, ones_b, opts, with_grad);
+}
+
+}  // namespace scis

@@ -1,0 +1,55 @@
+// Masking Sinkhorn divergence (Def. 4) and its gradient (Prop. 1), plus the
+// plain Sinkhorn divergence used by the RRSI baseline.
+//
+//   S_m(ν̄ || µ) = 2·OT_λ^m(X̄, X) − OT_λ^m(X̄, X̄) − OT_λ^m(X, X)
+//
+// where every OT term measures mask-projected rows. The divergence is
+// differentiable everywhere in X̄; the gradient combines the envelope
+// gradients of the cross term and the X̄ self term (the X–X term is a
+// constant). The paper's imputation loss is L_s = S_m / (2n).
+#ifndef SCIS_OT_DIVERGENCE_H_
+#define SCIS_OT_DIVERGENCE_H_
+
+#include "ot/sinkhorn.h"
+#include "tensor/matrix.h"
+
+namespace scis {
+
+struct DivergenceResult {
+  double value = 0.0;   // the divergence S (or plain Sinkhorn divergence)
+  Matrix grad_xbar;     // dS/dX̄, same shape as X̄ (empty if not requested)
+};
+
+// MS divergence between the reconstruction X̄ (generated) and data X, both
+// masked by M. mask_xbar defaults to M (Def. 2 pairs each row with the mask
+// of the *dataset* row: observed coordinates drive the distance).
+DivergenceResult MsDivergence(const Matrix& xbar, const Matrix& x,
+                              const Matrix& m, const SinkhornOptions& opts,
+                              bool with_grad);
+
+// Generalized form with separate masks for the two sides (used by tests and
+// by the DIM critic which transports feature-space embeddings).
+DivergenceResult MsDivergenceMasked(const Matrix& a, const Matrix& ma,
+                                    const Matrix& b, const Matrix& mb,
+                                    const SinkhornOptions& opts,
+                                    bool with_grad);
+
+// Plain (unmasked) Sinkhorn divergence S_λ(A, B) with squared-Euclidean
+// ground cost; gradient w.r.t. A when requested.
+DivergenceResult SinkhornDivergence(const Matrix& a, const Matrix& b,
+                                    const SinkhornOptions& opts,
+                                    bool with_grad);
+
+// Training fast path: 2·OT_λ^m(X̄, X) − OT_λ^m(X̄, X̄), i.e. the MS
+// divergence minus the OT_λ^m(X, X) self term — which is constant in X̄,
+// so the gradient equals MsDivergence's exactly while one of the three
+// Sinkhorn solves is skipped. The reported value is shifted by that
+// (batch-dependent) constant; use MsDivergence when the exact divergence
+// value matters.
+DivergenceResult MsDivergenceForTraining(const Matrix& xbar, const Matrix& x,
+                                         const Matrix& m,
+                                         const SinkhornOptions& opts);
+
+}  // namespace scis
+
+#endif  // SCIS_OT_DIVERGENCE_H_

@@ -1,0 +1,50 @@
+#include "ot/masked_cost.h"
+
+#include "common/check.h"
+#include "tensor/matrix_ops.h"
+
+namespace scis {
+
+Matrix MaskedCostMatrix(const Matrix& a, const Matrix& ma, const Matrix& b,
+                        const Matrix& mb) {
+  SCIS_CHECK(a.SameShape(ma));
+  SCIS_CHECK(b.SameShape(mb));
+  SCIS_CHECK_EQ(a.cols(), b.cols());
+  return PairwiseSquaredDistances(Mul(a, ma), Mul(b, mb));
+}
+
+Matrix MaskedOtGradWrtA(const Matrix& plan, const Matrix& a, const Matrix& ma,
+                        const Matrix& b, const Matrix& mb) {
+  SCIS_CHECK_EQ(plan.rows(), a.rows());
+  SCIS_CHECK_EQ(plan.cols(), b.rows());
+  const size_t n = a.rows(), m = b.rows(), d = a.cols();
+  Matrix grad(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    const double* ai = a.row_data(i);
+    const double* mi = ma.row_data(i);
+    double* gi = grad.row_data(i);
+    double prow = 0.0;  // Σ_j P_ij, to factor the m_i⊙a_i term out of j-loop
+    for (size_t j = 0; j < m; ++j) prow += plan(i, j);
+    for (size_t j = 0; j < m; ++j) {
+      const double pij = plan(i, j);
+      if (pij == 0.0) continue;
+      const double* bj = b.row_data(j);
+      const double* mj = mb.row_data(j);
+      for (size_t k = 0; k < d; ++k) {
+        gi[k] -= pij * mj[k] * bj[k];
+      }
+    }
+    for (size_t k = 0; k < d; ++k) {
+      gi[k] = 2.0 * mi[k] * (prow * mi[k] * ai[k] + gi[k]);
+    }
+  }
+  return grad;
+}
+
+Matrix MaskedOtGradWrtB(const Matrix& plan, const Matrix& a, const Matrix& ma,
+                        const Matrix& b, const Matrix& mb) {
+  // Reuse the A-side kernel on the transposed problem.
+  return MaskedOtGradWrtA(Transpose(plan), b, mb, a, ma);
+}
+
+}  // namespace scis

@@ -1,0 +1,36 @@
+// Autodiff bridge for the MS-divergence imputation loss
+//   L_s(X, M) = S_m(ν̄_x̄ || µ_x) / (2n)
+// Builds a scalar Var on xbar's tape whose backward pass injects the
+// analytic Prop.-1 gradient, so the chain rule continues into the
+// generator parameters exactly as Eq. 3 prescribes.
+#ifndef SCIS_OT_MS_LOSS_H_
+#define SCIS_OT_MS_LOSS_H_
+
+#include "autodiff/tape.h"
+#include "ot/divergence.h"
+
+namespace scis {
+
+// xbar: reconstruction produced by a differentiable model (n,d);
+// x/m: constant data batch and mask. Gradient flows only into xbar.
+Var MsLoss(Var xbar, const Matrix& x, const Matrix& m,
+           const SinkhornOptions& opts);
+
+// Fast training variant: same gradient, but the value omits the constant
+// OT_λ^m(X, X) self term (one fewer Sinkhorn solve per step). DIM uses
+// this in its inner loop.
+Var MsLossFast(Var xbar, const Matrix& x, const Matrix& m,
+               const SinkhornOptions& opts);
+
+// Plain Sinkhorn-divergence loss between two Var batches (gradient flows
+// into `a` only); used by the RRSI baseline: S_λ(a, b) / (2n).
+Var SinkhornLoss(Var a, const Matrix& b, const SinkhornOptions& opts);
+
+// Sinkhorn-divergence loss with gradients into BOTH sides: S_λ(a, b)/(2n).
+// The DIM critic needs this — the discriminator ascends the divergence of
+// embedded batches while the generator descends it (§IV-B).
+Var SinkhornLossBoth(Var a, Var b, const SinkhornOptions& opts);
+
+}  // namespace scis
+
+#endif  // SCIS_OT_MS_LOSS_H_

@@ -1,0 +1,57 @@
+// Entropy-regularized optimal transport via Sinkhorn's algorithm.
+//
+// Solves  min_{P ∈ Γ(a,b)} <P, C> + λ Σ_ij P_ij log P_ij   (Def. 3)
+// using log-domain (stabilized) Sinkhorn iterations, so small λ does not
+// underflow. The entropy convention matches the paper's Example 1: plain
+// entropy Σ P log P, not KL against the product measure (the two differ by
+// a constant given the marginals).
+#ifndef SCIS_OT_SINKHORN_H_
+#define SCIS_OT_SINKHORN_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace scis {
+
+struct SinkhornOptions {
+  double lambda = 1.0;   // entropic regularization weight λ (> 0)
+  int max_iters = 300;   // cap on Sinkhorn iterations
+  // Convergence: sup-norm movement of the row potential per iteration,
+  // relative to λ. Small potential movement implies small marginal
+  // violation (and is O(n) to track instead of O(n·m)).
+  double tol = 1e-9;
+  // ε-scaling (Schmitzer-style warm start): position the potentials
+  // through a geometric ladder of regularization weights λ·2^{k}…λ before
+  // the final solve. Removes the initial transient; note the asymptotic
+  // per-iteration contraction is set by the final λ, so at tight
+  // tolerances the total iteration count is similar — the win is at loose
+  // tolerances and as a numerical safeguard for extreme cost/λ ratios.
+  bool epsilon_scaling = false;
+  int scaling_steps = 4;
+};
+
+struct SinkhornSolution {
+  Matrix plan;              // optimal transport plan P* (n x m)
+  double transport_cost;    // <P*, C>
+  double reg_value;         // <P*, C> + λ Σ P log P  (the OT_λ value)
+  std::vector<double> f;    // dual potential over rows
+  std::vector<double> g;    // dual potential over cols
+  int iters = 0;            // iterations actually run
+  bool converged = false;
+};
+
+// Uniform-marginal solve: a_i = 1/n, b_j = 1/m.
+SinkhornSolution SolveSinkhorn(const Matrix& cost,
+                               const SinkhornOptions& opts);
+
+// General marginals. `a` has cost.rows() entries, `b` cost.cols(); both must
+// be positive and sum to 1.
+SinkhornSolution SolveSinkhornWeighted(const Matrix& cost,
+                                       const std::vector<double>& a,
+                                       const std::vector<double>& b,
+                                       const SinkhornOptions& opts);
+
+}  // namespace scis
+
+#endif  // SCIS_OT_SINKHORN_H_

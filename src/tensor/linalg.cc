@@ -1,0 +1,63 @@
+#include "tensor/linalg.h"
+
+#include <cmath>
+
+#include "tensor/matrix_ops.h"
+
+namespace scis {
+
+Result<Matrix> Cholesky(const Matrix& a) {
+  SCIS_CHECK_EQ(a.rows(), a.cols());
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0) {
+      return Status::InvalidArgument("matrix not positive definite");
+    }
+    l(j, j) = std::sqrt(diag);
+    for (size_t i = j + 1; i < n; ++i) {
+      double v = a(i, j);
+      for (size_t k = 0; k < j; ++k) v -= l(i, k) * l(j, k);
+      l(i, j) = v / l(j, j);
+    }
+  }
+  return l;
+}
+
+Result<Matrix> CholeskySolve(const Matrix& a, const Matrix& b) {
+  SCIS_CHECK_EQ(a.rows(), b.rows());
+  SCIS_ASSIGN_OR_RETURN(Matrix l, Cholesky(a));
+  const size_t n = a.rows(), m = b.cols();
+  // Forward substitution: L z = b.
+  Matrix z(n, m);
+  for (size_t c = 0; c < m; ++c) {
+    for (size_t i = 0; i < n; ++i) {
+      double v = b(i, c);
+      for (size_t k = 0; k < i; ++k) v -= l(i, k) * z(k, c);
+      z(i, c) = v / l(i, i);
+    }
+  }
+  // Back substitution: Lᵀ x = z.
+  Matrix x(n, m);
+  for (size_t c = 0; c < m; ++c) {
+    for (size_t i = n; i-- > 0;) {
+      double v = z(i, c);
+      for (size_t k = i + 1; k < n; ++k) v -= l(k, i) * x(k, c);
+      x(i, c) = v / l(i, i);
+    }
+  }
+  return x;
+}
+
+Result<Matrix> RidgeSolve(const Matrix& x, const Matrix& y, double alpha) {
+  SCIS_CHECK_EQ(x.rows(), y.rows());
+  SCIS_CHECK_EQ(y.cols(), 1u);
+  Matrix gram = MatMulTransA(x, x);
+  for (size_t j = 0; j < gram.rows(); ++j) gram(j, j) += alpha;
+  Matrix rhs = MatMulTransA(x, y);
+  return CholeskySolve(gram, rhs);
+}
+
+}  // namespace scis

@@ -1,0 +1,24 @@
+// Small dense linear algebra: Cholesky factorization/solve for SPD systems
+// (ridge regressions in MICE/Baran, Gauss–Newton solves in tests).
+#ifndef SCIS_TENSOR_LINALG_H_
+#define SCIS_TENSOR_LINALG_H_
+
+#include "common/status.h"
+#include "tensor/matrix.h"
+
+namespace scis {
+
+// Lower-triangular Cholesky factor of SPD `a`; fails if not positive
+// definite (within jitter).
+Result<Matrix> Cholesky(const Matrix& a);
+
+// Solves a x = b for SPD a (b may have multiple columns).
+Result<Matrix> CholeskySolve(const Matrix& a, const Matrix& b);
+
+// Solves the ridge system (xᵀx + alpha I) w = xᵀy.
+// x: (n,d), y: (n,1) -> w: (d,1).
+Result<Matrix> RidgeSolve(const Matrix& x, const Matrix& y, double alpha);
+
+}  // namespace scis
+
+#endif  // SCIS_TENSOR_LINALG_H_

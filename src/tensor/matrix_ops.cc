@@ -1,0 +1,314 @@
+#include "tensor/matrix_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scis {
+
+namespace {
+constexpr double kLogFloor = 1e-300;
+
+Matrix BinaryOp(const Matrix& a, const Matrix& b, double (*op)(double, double)) {
+  SCIS_CHECK_MSG(a.SameShape(b), "elementwise op shape mismatch");
+  Matrix out(a.rows(), a.cols());
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* po = out.data();
+  for (size_t k = 0; k < a.size(); ++k) po[k] = op(pa[k], pb[k]);
+  return out;
+}
+}  // namespace
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  SCIS_CHECK_MSG(a.cols() == b.rows(), "MatMul inner dimension mismatch");
+  Matrix out(a.rows(), b.cols());
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  // ikj loop order: streams through b and out rows contiguously.
+  for (size_t i = 0; i < m; ++i) {
+    double* orow = out.row_data(i);
+    const double* arow = a.row_data(i);
+    for (size_t p = 0; p < k; ++p) {
+      const double av = arow[p];
+      if (av == 0.0) continue;
+      const double* brow = b.row_data(p);
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  SCIS_CHECK_MSG(a.rows() == b.rows(), "MatMulTransA dimension mismatch");
+  Matrix out(a.cols(), b.cols());
+  const size_t m = a.cols(), k = a.rows(), n = b.cols();
+  for (size_t p = 0; p < k; ++p) {
+    const double* arow = a.row_data(p);
+    const double* brow = b.row_data(p);
+    for (size_t i = 0; i < m; ++i) {
+      const double av = arow[i];
+      if (av == 0.0) continue;
+      double* orow = out.row_data(i);
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  SCIS_CHECK_MSG(a.cols() == b.cols(), "MatMulTransB dimension mismatch");
+  Matrix out(a.rows(), b.rows());
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (size_t i = 0; i < m; ++i) {
+    const double* arow = a.row_data(i);
+    double* orow = out.row_data(i);
+    for (size_t j = 0; j < n; ++j) {
+      const double* brow = b.row_data(j);
+      double acc = 0.0;
+      for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      orow[j] = acc;
+    }
+  }
+  return out;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix out(a.cols(), a.rows());
+  for (size_t i = 0; i < a.rows(); ++i)
+    for (size_t j = 0; j < a.cols(); ++j) out(j, i) = a(i, j);
+  return out;
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  return BinaryOp(a, b, [](double x, double y) { return x + y; });
+}
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  return BinaryOp(a, b, [](double x, double y) { return x - y; });
+}
+Matrix Mul(const Matrix& a, const Matrix& b) {
+  return BinaryOp(a, b, [](double x, double y) { return x * y; });
+}
+Matrix Div(const Matrix& a, const Matrix& b) {
+  return BinaryOp(a, b, [](double x, double y) { return x / y; });
+}
+
+void AddInPlace(Matrix& a, const Matrix& b) {
+  SCIS_CHECK(a.SameShape(b));
+  double* pa = a.data();
+  const double* pb = b.data();
+  for (size_t k = 0; k < a.size(); ++k) pa[k] += pb[k];
+}
+void SubInPlace(Matrix& a, const Matrix& b) {
+  SCIS_CHECK(a.SameShape(b));
+  double* pa = a.data();
+  const double* pb = b.data();
+  for (size_t k = 0; k < a.size(); ++k) pa[k] -= pb[k];
+}
+void MulInPlace(Matrix& a, const Matrix& b) {
+  SCIS_CHECK(a.SameShape(b));
+  double* pa = a.data();
+  const double* pb = b.data();
+  for (size_t k = 0; k < a.size(); ++k) pa[k] *= pb[k];
+}
+void AxpyInPlace(Matrix& a, double alpha, const Matrix& b) {
+  SCIS_CHECK(a.SameShape(b));
+  double* pa = a.data();
+  const double* pb = b.data();
+  for (size_t k = 0; k < a.size(); ++k) pa[k] += alpha * pb[k];
+}
+
+Matrix AddScalar(const Matrix& a, double s) {
+  Matrix out = a;
+  double* p = out.data();
+  for (size_t k = 0; k < out.size(); ++k) p[k] += s;
+  return out;
+}
+Matrix MulScalar(const Matrix& a, double s) {
+  Matrix out = a;
+  MulScalarInPlace(out, s);
+  return out;
+}
+void MulScalarInPlace(Matrix& a, double s) {
+  double* p = a.data();
+  for (size_t k = 0; k < a.size(); ++k) p[k] *= s;
+}
+
+Matrix AddRowBroadcast(const Matrix& a, const Matrix& row) {
+  SCIS_CHECK(row.rows() == 1 && row.cols() == a.cols());
+  Matrix out = a;
+  for (size_t i = 0; i < a.rows(); ++i) {
+    double* p = out.row_data(i);
+    const double* r = row.data();
+    for (size_t j = 0; j < a.cols(); ++j) p[j] += r[j];
+  }
+  return out;
+}
+
+Matrix MulRowBroadcast(const Matrix& a, const Matrix& row) {
+  SCIS_CHECK(row.rows() == 1 && row.cols() == a.cols());
+  Matrix out = a;
+  for (size_t i = 0; i < a.rows(); ++i) {
+    double* p = out.row_data(i);
+    const double* r = row.data();
+    for (size_t j = 0; j < a.cols(); ++j) p[j] *= r[j];
+  }
+  return out;
+}
+
+Matrix AddColBroadcast(const Matrix& a, const Matrix& col) {
+  SCIS_CHECK(col.cols() == 1 && col.rows() == a.rows());
+  Matrix out = a;
+  for (size_t i = 0; i < a.rows(); ++i) {
+    double* p = out.row_data(i);
+    const double c = col(i, 0);
+    for (size_t j = 0; j < a.cols(); ++j) p[j] += c;
+  }
+  return out;
+}
+
+Matrix Map(const Matrix& a, const std::function<double(double)>& f) {
+  Matrix out(a.rows(), a.cols());
+  const double* pa = a.data();
+  double* po = out.data();
+  for (size_t k = 0; k < a.size(); ++k) po[k] = f(pa[k]);
+  return out;
+}
+
+Matrix Sigmoid(const Matrix& a) {
+  return Map(a, [](double x) {
+    // Split on sign to avoid exp overflow.
+    return x >= 0 ? 1.0 / (1.0 + std::exp(-x))
+                  : std::exp(x) / (1.0 + std::exp(x));
+  });
+}
+Matrix Relu(const Matrix& a) {
+  return Map(a, [](double x) { return x > 0 ? x : 0.0; });
+}
+Matrix Tanh(const Matrix& a) {
+  return Map(a, [](double x) { return std::tanh(x); });
+}
+Matrix Exp(const Matrix& a) {
+  return Map(a, [](double x) { return std::exp(x); });
+}
+Matrix Log(const Matrix& a) {
+  return Map(a, [](double x) { return std::log(std::max(x, kLogFloor)); });
+}
+Matrix Sqrt(const Matrix& a) {
+  return Map(a, [](double x) { return std::sqrt(x); });
+}
+Matrix Square(const Matrix& a) {
+  return Map(a, [](double x) { return x * x; });
+}
+Matrix Abs(const Matrix& a) {
+  return Map(a, [](double x) { return std::abs(x); });
+}
+Matrix Clamp(const Matrix& a, double lo, double hi) {
+  return Map(a, [lo, hi](double x) { return std::clamp(x, lo, hi); });
+}
+
+double Sum(const Matrix& a) {
+  double acc = 0.0;
+  const double* p = a.data();
+  for (size_t k = 0; k < a.size(); ++k) acc += p[k];
+  return acc;
+}
+double Mean(const Matrix& a) {
+  SCIS_CHECK_GT(a.size(), 0u);
+  return Sum(a) / static_cast<double>(a.size());
+}
+double MinValue(const Matrix& a) {
+  SCIS_CHECK_GT(a.size(), 0u);
+  return *std::min_element(a.data(), a.data() + a.size());
+}
+double MaxValue(const Matrix& a) {
+  SCIS_CHECK_GT(a.size(), 0u);
+  return *std::max_element(a.data(), a.data() + a.size());
+}
+double FrobeniusNorm(const Matrix& a) {
+  double acc = 0.0;
+  const double* p = a.data();
+  for (size_t k = 0; k < a.size(); ++k) acc += p[k] * p[k];
+  return std::sqrt(acc);
+}
+double Dot(const Matrix& a, const Matrix& b) {
+  SCIS_CHECK(a.SameShape(b));
+  double acc = 0.0;
+  const double* pa = a.data();
+  const double* pb = b.data();
+  for (size_t k = 0; k < a.size(); ++k) acc += pa[k] * pb[k];
+  return acc;
+}
+
+Matrix RowSum(const Matrix& a) {
+  Matrix out(a.rows(), 1);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* p = a.row_data(i);
+    double acc = 0.0;
+    for (size_t j = 0; j < a.cols(); ++j) acc += p[j];
+    out(i, 0) = acc;
+  }
+  return out;
+}
+Matrix ColSum(const Matrix& a) {
+  Matrix out(1, a.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* p = a.row_data(i);
+    double* o = out.data();
+    for (size_t j = 0; j < a.cols(); ++j) o[j] += p[j];
+  }
+  return out;
+}
+Matrix RowMean(const Matrix& a) {
+  SCIS_CHECK_GT(a.cols(), 0u);
+  Matrix out = RowSum(a);
+  MulScalarInPlace(out, 1.0 / static_cast<double>(a.cols()));
+  return out;
+}
+Matrix ColMean(const Matrix& a) {
+  SCIS_CHECK_GT(a.rows(), 0u);
+  Matrix out = ColSum(a);
+  MulScalarInPlace(out, 1.0 / static_cast<double>(a.rows()));
+  return out;
+}
+
+Matrix ConcatCols(const Matrix& a, const Matrix& b) {
+  SCIS_CHECK_EQ(a.rows(), b.rows());
+  Matrix out(a.rows(), a.cols() + b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    std::copy(a.row_data(i), a.row_data(i) + a.cols(), out.row_data(i));
+    std::copy(b.row_data(i), b.row_data(i) + b.cols(),
+              out.row_data(i) + a.cols());
+  }
+  return out;
+}
+
+Matrix ConcatRows(const Matrix& a, const Matrix& b) {
+  SCIS_CHECK_EQ(a.cols(), b.cols());
+  Matrix out(a.rows() + b.rows(), a.cols());
+  std::copy(a.data(), a.data() + a.size(), out.data());
+  std::copy(b.data(), b.data() + b.size(), out.data() + a.size());
+  return out;
+}
+
+Matrix PairwiseSquaredDistances(const Matrix& a, const Matrix& b) {
+  SCIS_CHECK_EQ(a.cols(), b.cols());
+  const size_t n = a.rows(), m = b.rows(), d = a.cols();
+  std::vector<double> a2(n, 0.0), b2(m, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* p = a.row_data(i);
+    for (size_t j = 0; j < d; ++j) a2[i] += p[j] * p[j];
+  }
+  for (size_t i = 0; i < m; ++i) {
+    const double* p = b.row_data(i);
+    for (size_t j = 0; j < d; ++j) b2[i] += p[j] * p[j];
+  }
+  Matrix out = MatMulTransB(a, b);
+  for (size_t i = 0; i < n; ++i) {
+    double* p = out.row_data(i);
+    for (size_t j = 0; j < m; ++j) {
+      p[j] = std::max(a2[i] + b2[j] - 2.0 * p[j], 0.0);
+    }
+  }
+  return out;
+}
+
+}  // namespace scis

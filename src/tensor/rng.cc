@@ -1,0 +1,116 @@
+#include "tensor/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace scis {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64: seeds the xoshiro state from one 64-bit value.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53-bit mantissa -> [0,1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+size_t Rng::UniformIndex(size_t n) {
+  SCIS_CHECK_GT(n, 0u);
+  // Rejection-free for our purposes (bias < 2^-53 for n << 2^53).
+  return static_cast<size_t>(Uniform() * static_cast<double>(n)) % n;
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = Uniform();
+  while (u1 <= 1e-16) u1 = Uniform();
+  const double u2 = Uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+Matrix Rng::UniformMatrix(size_t rows, size_t cols, double lo, double hi) {
+  Matrix m(rows, cols);
+  double* p = m.data();
+  for (size_t k = 0; k < m.size(); ++k) p[k] = Uniform(lo, hi);
+  return m;
+}
+
+Matrix Rng::NormalMatrix(size_t rows, size_t cols, double mean,
+                         double stddev) {
+  Matrix m(rows, cols);
+  double* p = m.data();
+  for (size_t k = 0; k < m.size(); ++k) p[k] = Normal(mean, stddev);
+  return m;
+}
+
+Matrix Rng::BernoulliMatrix(size_t rows, size_t cols, double p) {
+  Matrix m(rows, cols);
+  double* q = m.data();
+  for (size_t k = 0; k < m.size(); ++k) q[k] = Bernoulli(p) ? 1.0 : 0.0;
+  return m;
+}
+
+std::vector<size_t> Rng::Permutation(size_t n) {
+  std::vector<size_t> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = i;
+  for (size_t i = n; i > 1; --i) {
+    std::swap(out[i - 1], out[UniformIndex(i)]);
+  }
+  return out;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  SCIS_CHECK_LE(k, n);
+  // Partial Fisher–Yates over an index array.
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  for (size_t i = 0; i < k; ++i) {
+    std::swap(idx[i], idx[i + UniformIndex(n - i)]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+Rng Rng::Split() { return Rng(NextU64()); }
+
+}  // namespace scis

@@ -1,0 +1,131 @@
+#include "tensor/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace scis {
+
+SparseMatrix::SparseMatrix(size_t rows, size_t cols, std::vector<Edge> edges)
+    : rows_(rows), cols_(cols) {
+  // Coalesce duplicates.
+  std::map<std::pair<size_t, size_t>, double> coalesced;
+  for (const Edge& e : edges) {
+    SCIS_CHECK(e.row < rows && e.col < cols);
+    coalesced[{e.row, e.col}] += e.weight;
+  }
+  row_ptr_.assign(rows + 1, 0);
+  for (const auto& [rc, w] : coalesced) ++row_ptr_[rc.first + 1];
+  for (size_t i = 0; i < rows; ++i) row_ptr_[i + 1] += row_ptr_[i];
+  col_idx_.resize(coalesced.size());
+  values_.resize(coalesced.size());
+  size_t k = 0;
+  for (const auto& [rc, w] : coalesced) {
+    col_idx_[k] = rc.second;
+    values_[k] = w;
+    ++k;
+  }
+}
+
+Matrix SparseMatrix::MatMulDense(const Matrix& dense) const {
+  SCIS_CHECK_EQ(cols_, dense.rows());
+  Matrix out(rows_, dense.cols());
+  for (size_t i = 0; i < rows_; ++i) {
+    double* orow = out.row_data(i);
+    for (size_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+      const double w = values_[p];
+      const double* drow = dense.row_data(col_idx_[p]);
+      for (size_t c = 0; c < dense.cols(); ++c) orow[c] += w * drow[c];
+    }
+  }
+  return out;
+}
+
+Matrix SparseMatrix::TransposeMatMulDense(const Matrix& dense) const {
+  SCIS_CHECK_EQ(rows_, dense.rows());
+  Matrix out(cols_, dense.cols());
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* drow = dense.row_data(i);
+    for (size_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+      const double w = values_[p];
+      double* orow = out.row_data(col_idx_[p]);
+      for (size_t c = 0; c < dense.cols(); ++c) orow[c] += w * drow[c];
+    }
+  }
+  return out;
+}
+
+Matrix SparseMatrix::ToDense() const {
+  Matrix out(rows_, cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+      out(i, col_idx_[p]) += values_[p];
+    }
+  }
+  return out;
+}
+
+SparseMatrix BuildKnnGraph(const Matrix& x, const Matrix& mask, size_t k) {
+  SCIS_CHECK(x.SameShape(mask));
+  const size_t n = x.rows(), d = x.cols();
+  SCIS_CHECK_GT(n, 0u);
+  k = std::min(k, n - 1);
+
+  std::vector<Edge> edges;
+  edges.reserve(n * (k + 1) * 2);
+  std::vector<std::pair<double, size_t>> dist(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double* xi = x.row_data(i);
+    const double* mi = mask.row_data(i);
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) {
+        dist[j] = {1e30, j};
+        continue;
+      }
+      const double* xj = x.row_data(j);
+      const double* mj = mask.row_data(j);
+      double acc = 0.0;
+      size_t overlap = 0;
+      for (size_t c = 0; c < d; ++c) {
+        if (mi[c] == 1.0 && mj[c] == 1.0) {
+          const double diff = xi[c] - xj[c];
+          acc += diff * diff;
+          ++overlap;
+        }
+      }
+      dist[j] = {overlap ? acc / static_cast<double>(overlap) : 1e29, j};
+    }
+    std::partial_sort(dist.begin(), dist.begin() + k, dist.end());
+    for (size_t t = 0; t < k; ++t) {
+      const size_t j = dist[t].second;
+      // Symmetrize: both directions, weight 1.
+      edges.push_back({i, j, 1.0});
+      edges.push_back({j, i, 1.0});
+    }
+  }
+  // Self loops.
+  for (size_t i = 0; i < n; ++i) edges.push_back({i, i, 1.0});
+
+  // Degrees for symmetric normalization (duplicate edges coalesce to one
+  // logical edge; weight may be 2 for mutual neighbours, which is fine —
+  // it just emphasizes mutual similarity).
+  SparseMatrix raw(n, n, std::move(edges));
+  std::vector<double> deg(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t p = raw.row_ptr()[i]; p < raw.row_ptr()[i + 1]; ++p) {
+      deg[i] += raw.values()[p];
+    }
+  }
+  std::vector<Edge> normalized;
+  normalized.reserve(raw.nnz());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t p = raw.row_ptr()[i]; p < raw.row_ptr()[i + 1]; ++p) {
+      const size_t j = raw.col_idx()[p];
+      normalized.push_back(
+          {i, j, raw.values()[p] / std::sqrt(deg[i] * deg[j])});
+    }
+  }
+  return SparseMatrix(n, n, std::move(normalized));
+}
+
+}  // namespace scis

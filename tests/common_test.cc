@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace scis {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad n");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad n");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad n");
+}
+
+TEST(StatusTest, CopyingPreservesError) {
+  Status s = Status::IoError("disk");
+  Status t = s;
+  EXPECT_EQ(t.code(), StatusCode::kIoError);
+  EXPECT_EQ(t.message(), "disk");
+  EXPECT_EQ(s, t);
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode c :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kOutOfRange,
+        StatusCode::kNotFound, StatusCode::kAlreadyExists,
+        StatusCode::kIoError, StatusCode::kNotImplemented,
+        StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeToString(c), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("x"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  SCIS_ASSIGN_OR_RETURN(*out, HalveEven(x));
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacroPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(8, &out).ok());
+  EXPECT_EQ(out, 4);
+  EXPECT_EQ(UseAssignOrReturn(7, &out).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, TrimBothEnds) {
+  EXPECT_EQ(Trim("  x y \t\n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, ParseDoubleValues) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.5").value(), 3.5);
+  EXPECT_DOUBLE_EQ(ParseDouble(" -2e3 ").value(), -2000.0);
+}
+
+TEST(StringUtilTest, ParseDoubleMissingMarkers) {
+  for (const char* s : {"", "NA", "nan", "NaN", "null", "  "}) {
+    EXPECT_EQ(ParseDouble(s).status().code(), StatusCode::kNotFound) << s;
+  }
+}
+
+TEST(StringUtilTest, ParseDoubleRejectsGarbage) {
+  EXPECT_EQ(ParseDouble("3.5x").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StringUtilTest, ParseInt) {
+  EXPECT_EQ(ParseInt("123").value(), 123);
+  EXPECT_EQ(ParseInt("-7").value(), -7);
+  EXPECT_FALSE(ParseInt("1.5").ok());
+  EXPECT_FALSE(ParseInt("").ok());
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("GAIN", "gain"));
+  EXPECT_FALSE(EqualsIgnoreCase("GAIN", "gai"));
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%.2f%%", 12.345), "12.35%");
+}
+
+TEST(FlagsTest, ParsesAllKinds) {
+  FlagParser p;
+  double d = 0;
+  long long i = 0;
+  std::string s;
+  bool b = false;
+  p.AddDouble("eps", &d, "");
+  p.AddInt("n", &i, "");
+  p.AddString("name", &s, "");
+  p.AddBool("fast", &b, "");
+  const char* argv[] = {"prog", "--eps=0.5", "--n", "42", "--name=trial",
+                        "--fast"};
+  ASSERT_TRUE(p.Parse(6, const_cast<char**>(argv)).ok());
+  EXPECT_DOUBLE_EQ(d, 0.5);
+  EXPECT_EQ(i, 42);
+  EXPECT_EQ(s, "trial");
+  EXPECT_TRUE(b);
+}
+
+TEST(FlagsTest, RejectsUnknownFlag) {
+  FlagParser p;
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_EQ(p.Parse(2, const_cast<char**>(argv)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, RejectsBadValue) {
+  FlagParser p;
+  long long i = 0;
+  p.AddInt("n", &i, "");
+  const char* argv[] = {"prog", "--n=abc"};
+  EXPECT_FALSE(p.Parse(2, const_cast<char**>(argv)).ok());
+}
+
+}  // namespace
+}  // namespace scis

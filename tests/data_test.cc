@@ -1,0 +1,327 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "data/covid_synth.h"
+#include "data/csv.h"
+#include "data/missingness.h"
+#include "data/normalizer.h"
+#include "data/sampler.h"
+
+namespace scis {
+namespace {
+
+Dataset SmallIncomplete() {
+  Matrix x{{1.0, 2.0}, {0.0, 4.0}, {5.0, 0.0}};
+  Matrix m{{1.0, 1.0}, {0.0, 1.0}, {1.0, 0.0}};
+  return Dataset("t", x, m, {});
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  Dataset d = SmallIncomplete();
+  EXPECT_EQ(d.num_rows(), 3u);
+  EXPECT_EQ(d.num_cols(), 2u);
+  EXPECT_TRUE(d.IsObserved(0, 0));
+  EXPECT_FALSE(d.IsObserved(1, 0));
+  EXPECT_EQ(d.ObservedCount(), 4u);
+  EXPECT_NEAR(d.MissingRate(), 2.0 / 6.0, 1e-12);
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+TEST(DatasetTest, ValidateCatchesBadMask) {
+  Matrix x{{1.0}};
+  Matrix m{{0.5}};
+  Dataset d("bad", x, m, {});
+  EXPECT_FALSE(d.Validate().ok());
+}
+
+TEST(DatasetTest, ValidateCatchesNonzeroMissing) {
+  Matrix x{{7.0}};
+  Matrix m{{0.0}};
+  Dataset d("bad", x, m, {});
+  EXPECT_FALSE(d.Validate().ok());
+}
+
+TEST(DatasetTest, GatherRowsKeepsMetadata) {
+  Dataset d = SmallIncomplete();
+  Dataset g = d.GatherRows({2, 0});
+  EXPECT_EQ(g.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(g.values()(0, 0), 5.0);
+  EXPECT_FALSE(g.IsObserved(0, 1));
+  EXPECT_EQ(g.columns().size(), 2u);
+}
+
+TEST(DatasetTest, CompleteFactory) {
+  Dataset d = Dataset::Complete("c", Matrix{{1, 2}});
+  EXPECT_DOUBLE_EQ(d.MissingRate(), 0.0);
+}
+
+TEST(NormalizerTest, MapsObservedToUnitInterval) {
+  Rng rng(1);
+  Matrix x = rng.UniformMatrix(50, 4, -100, 250);
+  Dataset d = Dataset::Complete("n", x);
+  MinMaxNormalizer norm;
+  Dataset t = norm.FitTransform(d);
+  for (size_t k = 0; k < t.values().size(); ++k) {
+    EXPECT_GE(t.values().data()[k], 0.0);
+    EXPECT_LE(t.values().data()[k], 1.0);
+  }
+}
+
+TEST(NormalizerTest, InverseRoundTrip) {
+  Rng rng(2);
+  Matrix x = rng.UniformMatrix(20, 3, -5, 9);
+  Dataset d = Dataset::Complete("n", x);
+  MinMaxNormalizer norm;
+  Dataset t = norm.FitTransform(d);
+  Matrix back = norm.InverseTransform(t.values());
+  EXPECT_TRUE(back.AllClose(x, 1e-9));
+}
+
+TEST(NormalizerTest, FitsOnObservedOnly) {
+  // A huge value hidden behind the mask must not stretch the range.
+  Matrix x{{0.0, 1.0}, {0.0, 3.0}};
+  Matrix m{{0.0, 1.0}, {0.0, 1.0}};
+  MinMaxNormalizer norm;
+  norm.Fit(Dataset("n", x, m, {}));
+  EXPECT_DOUBLE_EQ(norm.lo()[1], 1.0);
+  EXPECT_DOUBLE_EQ(norm.hi()[1], 3.0);
+  // Fully-missing column gets the [0,1] fallback.
+  EXPECT_DOUBLE_EQ(norm.lo()[0], 0.0);
+  EXPECT_DOUBLE_EQ(norm.hi()[0], 1.0);
+}
+
+TEST(NormalizerTest, ConstantColumnSafe) {
+  Matrix x{{5.0}, {5.0}};
+  MinMaxNormalizer norm;
+  Dataset t = norm.FitTransform(Dataset::Complete("n", x));
+  EXPECT_DOUBLE_EQ(t.values()(0, 0), 0.0);  // no division by zero
+}
+
+class McarRateTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(McarRateTest, HitsRequestedRate) {
+  const double rate = GetParam();
+  Rng rng(3);
+  Dataset d = Dataset::Complete("m", rng.UniformMatrix(200, 20, 0, 1));
+  Dataset out = InjectMcar(d, rate, rng);
+  EXPECT_NEAR(out.MissingRate(), rate, 0.03);
+  EXPECT_TRUE(out.Validate().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, McarRateTest,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+TEST(MissingnessTest, McarZeroAndOneEdges) {
+  Rng rng(4);
+  Dataset d = Dataset::Complete("m", rng.UniformMatrix(10, 3, 0, 1));
+  EXPECT_DOUBLE_EQ(InjectMcar(d, 0.0, rng).MissingRate(), 0.0);
+  EXPECT_DOUBLE_EQ(InjectMcar(d, 1.0, rng).MissingRate(), 1.0);
+}
+
+TEST(MissingnessTest, MarDependsOnPivot) {
+  // Column j's missingness keys off column (j+1): rows whose pivot exceeds
+  // the median must lose more cells.
+  Rng rng(5);
+  const size_t n = 4000;
+  Matrix x(n, 2);
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.Uniform();
+    x(i, 1) = rng.Uniform();
+  }
+  Dataset d = Dataset::Complete("mar", x);
+  Dataset out = InjectMar(d, 0.3, 4.0, rng);
+  size_t miss_hi = 0, miss_lo = 0, n_hi = 0, n_lo = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const bool hi = x(i, 1) > 0.5;  // pivot of column 0 is column 1
+    (hi ? n_hi : n_lo) += 1;
+    if (!out.IsObserved(i, 0)) (hi ? miss_hi : miss_lo) += 1;
+  }
+  const double r_hi = double(miss_hi) / double(n_hi);
+  const double r_lo = double(miss_lo) / double(n_lo);
+  EXPECT_GT(r_hi, 2.0 * r_lo);
+}
+
+TEST(MissingnessTest, MnarSelfMasksLargeValues) {
+  Rng rng(6);
+  const size_t n = 4000;
+  Matrix x(n, 1);
+  for (size_t i = 0; i < n; ++i) x(i, 0) = rng.Uniform();
+  Dataset out = InjectMnar(Dataset::Complete("mnar", x), 0.3, 8.0, rng);
+  size_t miss_hi = 0, miss_lo = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!out.IsObserved(i, 0)) (x(i, 0) > 0.5 ? miss_hi : miss_lo) += 1;
+  }
+  EXPECT_GT(miss_hi, 2 * miss_lo);
+}
+
+TEST(HoldOutTest, Protocol) {
+  Rng rng(7);
+  Dataset d = InjectMcar(
+      Dataset::Complete("h", rng.UniformMatrix(300, 5, 0, 1)), 0.3, rng);
+  const size_t observed_before = d.ObservedCount();
+  HoldOut h = MakeHoldOut(d, 0.2, rng);
+  size_t held = 0;
+  for (size_t k = 0; k < h.eval_mask.size(); ++k) {
+    if (h.eval_mask.data()[k] == 1.0) {
+      ++held;
+      // Held-out cells are no longer observed in train and keep the truth.
+      EXPECT_EQ(h.train.mask().data()[k], 0.0);
+      EXPECT_EQ(h.truth.data()[k], d.values().data()[k]);
+    }
+  }
+  EXPECT_NEAR(double(held) / double(observed_before), 0.2, 0.03);
+  EXPECT_EQ(h.train.ObservedCount() + held, observed_before);
+  EXPECT_TRUE(h.train.Validate().ok());
+}
+
+TEST(SamplerTest, ValidationSplitDisjointAndComplete) {
+  Rng rng(8);
+  ValidationSplit s = SplitValidation(100, 25, rng);
+  EXPECT_EQ(s.validation.size(), 25u);
+  EXPECT_EQ(s.rest.size(), 75u);
+  std::vector<bool> seen(100, false);
+  for (size_t i : s.validation) seen[i] = true;
+  for (size_t i : s.rest) {
+    EXPECT_FALSE(seen[i]);  // disjoint
+    seen[i] = true;
+  }
+  for (bool b : seen) EXPECT_TRUE(b);  // complete
+}
+
+TEST(SamplerTest, SampleFromPool) {
+  Rng rng(9);
+  std::vector<size_t> pool{10, 20, 30, 40, 50};
+  std::vector<size_t> s = SampleFrom(pool, 3, rng);
+  EXPECT_EQ(s.size(), 3u);
+  for (size_t v : s) {
+    EXPECT_TRUE(v % 10 == 0 && v >= 10 && v <= 50);
+  }
+}
+
+TEST(SamplerTest, MiniBatcherCoversEpoch) {
+  Rng rng(10);
+  MiniBatcher b(10, 3, rng);
+  EXPECT_EQ(b.batches_per_epoch(), 4u);
+  std::vector<size_t> batch;
+  std::vector<bool> seen(10, false);
+  size_t batches = 0;
+  while (b.Next(&batch)) {
+    ++batches;
+    for (size_t i : batch) {
+      EXPECT_FALSE(seen[i]);
+      seen[i] = true;
+    }
+  }
+  EXPECT_EQ(batches, 4u);
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(CsvTest, RoundTripWithMissing) {
+  Dataset d = SmallIncomplete();
+  const std::string path = "/tmp/scis_csv_test.csv";
+  ASSERT_TRUE(WriteCsvDataset(d, path).ok());
+  Result<Dataset> back = ReadCsvDataset(path, "t");
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->values().AllClose(d.values()));
+  EXPECT_TRUE(back->mask() == d.mask());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileErrors) {
+  EXPECT_EQ(ReadCsvDataset("/nonexistent/nope.csv", "x").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(CsvTest, FieldCountMismatchErrors) {
+  const std::string path = "/tmp/scis_csv_bad.csv";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("a,b\n1,2\n3\n", f);
+  fclose(f);
+  EXPECT_FALSE(ReadCsvDataset(path, "x").ok());
+  std::remove(path.c_str());
+}
+
+TEST(CovidSynthTest, SpecShapesMatchTableII) {
+  auto specs = AllCovidSpecs(1.0);
+  ASSERT_EQ(specs.size(), 6u);
+  EXPECT_EQ(specs[0].name, "Trial");
+  EXPECT_EQ(specs[0].rows, 6433u);
+  EXPECT_EQ(specs[0].cols, 9u);
+  EXPECT_NEAR(specs[0].missing_rate, 0.0963, 1e-9);
+  EXPECT_EQ(specs[1].cols, 22u);
+  EXPECT_EQ(specs[2].rows, 200737u);
+  EXPECT_EQ(specs[4].rows, 4911011u);
+  EXPECT_EQ(specs[5].rows, 22507139u);
+  EXPECT_NEAR(specs[5].missing_rate, 0.4762, 1e-9);
+}
+
+TEST(CovidSynthTest, ScaleShrinksRows) {
+  SyntheticSpec s = WeatherSpec(0.001);
+  EXPECT_EQ(s.rows, 4911u);
+  EXPECT_EQ(TrialSpec(1e-9).rows, 512u);  // floor
+}
+
+TEST(CovidSynthTest, GeneratedDataMatchesSpec) {
+  SyntheticSpec spec = TrialSpec(0.1);
+  LabeledDataset gen = GenerateSynthetic(spec);
+  EXPECT_EQ(gen.complete.num_rows(), spec.rows);
+  EXPECT_EQ(gen.complete.num_cols(), spec.cols);
+  EXPECT_DOUBLE_EQ(gen.complete.MissingRate(), 0.0);
+  EXPECT_NEAR(gen.incomplete.MissingRate(), spec.missing_rate, 0.02);
+  EXPECT_EQ(gen.labels.size(), spec.rows);
+  EXPECT_TRUE(gen.incomplete.Validate().ok());
+}
+
+TEST(CovidSynthTest, DeterministicAcrossCalls) {
+  LabeledDataset a = GenerateSynthetic(EmergencySpec(0.05));
+  LabeledDataset b = GenerateSynthetic(EmergencySpec(0.05));
+  EXPECT_TRUE(a.complete.values() == b.complete.values());
+  EXPECT_TRUE(a.incomplete.mask() == b.incomplete.mask());
+}
+
+TEST(CovidSynthTest, ClassificationLabelsBalanced) {
+  LabeledDataset gen = GenerateSynthetic(TrialSpec(0.2));
+  double ones = 0;
+  for (double y : gen.labels) {
+    EXPECT_TRUE(y == 0.0 || y == 1.0);
+    ones += y;
+  }
+  EXPECT_NEAR(ones / gen.labels.size(), 0.5, 0.05);
+}
+
+TEST(CovidSynthTest, ColumnsAreCorrelated) {
+  // The low-rank latent structure must produce inter-column signal —
+  // that is what separates model-based imputers from column means.
+  LabeledDataset gen = GenerateSynthetic(WeatherSpec(0.001));
+  const Matrix& x = gen.complete.values();
+  const size_t n = x.rows();
+  // Max |corr| over numeric column pairs should be substantial.
+  double best = 0.0;
+  for (size_t a = 0; a < x.cols(); ++a) {
+    for (size_t b = a + 1; b < x.cols(); ++b) {
+      double ma = 0, mb = 0;
+      for (size_t i = 0; i < n; ++i) {
+        ma += x(i, a);
+        mb += x(i, b);
+      }
+      ma /= n;
+      mb /= n;
+      double num = 0, va = 0, vb = 0;
+      for (size_t i = 0; i < n; ++i) {
+        num += (x(i, a) - ma) * (x(i, b) - mb);
+        va += (x(i, a) - ma) * (x(i, a) - ma);
+        vb += (x(i, b) - mb) * (x(i, b) - mb);
+      }
+      if (va > 0 && vb > 0) {
+        best = std::max(best, std::abs(num / std::sqrt(va * vb)));
+      }
+    }
+  }
+  EXPECT_GT(best, 0.3);
+}
+
+}  // namespace
+}  // namespace scis

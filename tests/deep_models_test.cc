@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/missingness.h"
+#include "data/normalizer.h"
+#include "eval/metrics.h"
+#include "models/gain_imputer.h"
+#include "models/ginn_imputer.h"
+#include "models/mean_imputer.h"
+#include "models/midae_imputer.h"
+#include "models/mlp_imputer.h"
+#include "models/rrsi_imputer.h"
+#include "models/vae_imputers.h"
+#include "tensor/matrix_ops.h"
+
+namespace scis {
+namespace {
+
+struct Bench {
+  Dataset train;
+  Matrix truth;
+  Matrix eval_mask;
+};
+
+Bench MakeBench(size_t n = 300, double miss = 0.25, uint64_t seed = 11) {
+  Rng rng(seed);
+  Matrix x(n, 4);
+  for (size_t i = 0; i < n; ++i) {
+    const double z = rng.Uniform();
+    x(i, 0) = z + rng.Normal(0, 0.03);
+    x(i, 1) = 1.0 - z + rng.Normal(0, 0.03);
+    x(i, 2) = z * z + rng.Normal(0, 0.03);
+    x(i, 3) = 0.5 * z + 0.25 + rng.Normal(0, 0.03);
+  }
+  Dataset complete = Dataset::Complete("bench", x);
+  Dataset incomplete = InjectMcar(complete, miss, rng);
+  HoldOut h = MakeHoldOut(incomplete, 0.2, rng);
+  MinMaxNormalizer norm;
+  Bench b;
+  b.train = norm.FitTransform(h.train);
+  b.eval_mask = h.eval_mask;
+  b.truth = Matrix(n, 4);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      if (h.eval_mask(i, j) == 1.0) {
+        b.truth(i, j) =
+            (h.truth(i, j) - norm.lo()[j]) / (norm.hi()[j] - norm.lo()[j]);
+      }
+    }
+  }
+  return b;
+}
+
+double MeanRmse(const Bench& b) {
+  MeanImputer mean;
+  EXPECT_TRUE(mean.Fit(b.train).ok());
+  return MaskedRmse(mean.Impute(b.train), b.truth, b.eval_mask);
+}
+
+DeepOptions FastDeep(int epochs = 30) {
+  DeepOptions o;
+  o.epochs = epochs;
+  o.batch_size = 64;
+  o.dropout = 0.2;  // lighter than the paper's 0.5 for tiny test nets
+  return o;
+}
+
+TEST(MlpImputerTest, LearnsCorrelations) {
+  Bench b = MakeBench();
+  MlpImputerOptions o;
+  o.deep = FastDeep(40);
+  MlpImputer imp(o);
+  ASSERT_TRUE(imp.Fit(b.train).ok());
+  const double rmse = MaskedRmse(imp.Impute(b.train), b.truth, b.eval_mask);
+  EXPECT_LT(rmse, 0.85 * MeanRmse(b));
+}
+
+TEST(MlpImputerTest, OutputsInUnitInterval) {
+  Bench b = MakeBench(100);
+  MlpImputerOptions o;
+  o.deep = FastDeep(3);
+  MlpImputer imp(o);
+  ASSERT_TRUE(imp.Fit(b.train).ok());
+  Matrix rec = imp.Reconstruct(b.train);
+  for (size_t k = 0; k < rec.size(); ++k) {
+    EXPECT_GE(rec.data()[k], 0.0);
+    EXPECT_LE(rec.data()[k], 1.0);
+  }
+}
+
+TEST(MlpImputerTest, TrainingLossDecreases) {
+  Bench b = MakeBench();
+  MlpImputerOptions o1;
+  o1.deep = FastDeep(1);
+  MlpImputer one(o1);
+  ASSERT_TRUE(one.Fit(b.train).ok());
+  const double loss_after_1 = one.last_epoch_loss();
+  MlpImputerOptions o2;
+  o2.deep = FastDeep(30);
+  MlpImputer thirty(o2);
+  ASSERT_TRUE(thirty.Fit(b.train).ok());
+  EXPECT_LT(thirty.last_epoch_loss(), loss_after_1);
+}
+
+TEST(RrsiImputerTest, ImprovesOverMeanInit) {
+  Bench b = MakeBench(256, 0.3);
+  RrsiImputerOptions o;
+  o.iterations = 200;
+  o.batch_size = 64;
+  RrsiImputer imp(o);
+  ASSERT_TRUE(imp.Fit(b.train).ok());
+  const double rmse = MaskedRmse(imp.Impute(b.train), b.truth, b.eval_mask);
+  EXPECT_LT(rmse, MeanRmse(b));
+}
+
+TEST(RrsiImputerTest, TransductiveFallback) {
+  Bench b = MakeBench(128);
+  RrsiImputerOptions o;
+  o.iterations = 10;
+  RrsiImputer imp(o);
+  ASSERT_TRUE(imp.Fit(b.train).ok());
+  // Unseen data (different mask): falls back to mean fill, still completes.
+  Bench other = MakeBench(64, 0.25, 99);
+  Matrix rec = imp.Reconstruct(other.train);
+  EXPECT_EQ(rec.rows(), 64u);
+}
+
+TEST(MidaeImputerTest, MultipleImputationAveragesPasses) {
+  Bench b = MakeBench(200);
+  MidaeImputerOptions o;
+  o.deep = FastDeep(20);
+  o.num_imputations = 3;
+  MidaeImputer imp(o);
+  ASSERT_TRUE(imp.Fit(b.train).ok());
+  const double rmse = MaskedRmse(imp.Impute(b.train), b.truth, b.eval_mask);
+  EXPECT_LT(rmse, 1.1 * MeanRmse(b));  // sanity: not catastrophically bad
+}
+
+TEST(VaeiImputerTest, TrainsAndReconstructs) {
+  Bench b = MakeBench(200);
+  VaeImputerOptions o;
+  o.deep = FastDeep(30);
+  VaeiImputer imp(o);
+  ASSERT_TRUE(imp.Fit(b.train).ok());
+  Matrix rec = imp.Reconstruct(b.train);
+  for (size_t k = 0; k < rec.size(); ++k) {
+    EXPECT_GE(rec.data()[k], 0.0);
+    EXPECT_LE(rec.data()[k], 1.0);
+  }
+  EXPECT_LT(MaskedRmse(imp.Impute(b.train), b.truth, b.eval_mask),
+            1.2 * MeanRmse(b));
+}
+
+TEST(MiwaeImputerTest, ImportanceWeightingRuns) {
+  Bench b = MakeBench(150);
+  MiwaeImputerOptions o;
+  o.deep = FastDeep(20);
+  o.importance_samples = 3;
+  MiwaeImputer imp(o);
+  ASSERT_TRUE(imp.Fit(b.train).ok());
+  Matrix rec = imp.Reconstruct(b.train);
+  EXPECT_EQ(rec.rows(), 150u);
+  EXPECT_LT(MaskedRmse(imp.Impute(b.train), b.truth, b.eval_mask),
+            1.2 * MeanRmse(b));
+}
+
+TEST(EddiImputerTest, PartialEncoderHandlesMissingEvidence) {
+  Bench b = MakeBench(200, 0.5);  // heavy missingness
+  EddiImputerOptions o;
+  o.deep = FastDeep(30);
+  EddiImputer imp(o);
+  ASSERT_TRUE(imp.Fit(b.train).ok());
+  EXPECT_LT(MaskedRmse(imp.Impute(b.train), b.truth, b.eval_mask),
+            1.2 * MeanRmse(b));
+}
+
+TEST(HivaeImputerTest, SingleLayerConfigTrains) {
+  Bench b = MakeBench(200);
+  HivaeImputerOptions o;
+  o.deep = FastDeep(30);
+  HivaeImputer imp(o);
+  ASSERT_TRUE(imp.Fit(b.train).ok());
+  EXPECT_LT(MaskedRmse(imp.Impute(b.train), b.truth, b.eval_mask),
+            1.2 * MeanRmse(b));
+}
+
+TEST(GainImputerTest, AdversarialTrainingBeatsMean) {
+  Bench b = MakeBench(300, 0.25);
+  GainImputerOptions o;
+  o.deep = FastDeep(100);  // the paper's epoch count
+  GainImputer gain(o);
+  ASSERT_TRUE(gain.Fit(b.train).ok());
+  const double rmse = MaskedRmse(gain.Impute(b.train), b.truth, b.eval_mask);
+  EXPECT_LT(rmse, 0.9 * MeanRmse(b));
+}
+
+TEST(GainImputerTest, ReconstructOnTapeDifferentiable) {
+  Bench b = MakeBench(64);
+  GainImputerOptions o;
+  o.deep = FastDeep(1);
+  GainImputer gain(o);
+  ASSERT_TRUE(gain.Fit(b.train).ok());
+  Tape tape;
+  Matrix x = b.train.values().RowRange(0, 32);
+  Matrix m = b.train.mask().RowRange(0, 32);
+  Var xbar = gain.ReconstructOnTape(tape, x, m, true);
+  Var loss = Mean(Square(xbar));
+  tape.Backward(loss);
+  double gnorm = 0;
+  for (const Matrix& g : gain.generator_params().CollectGrads()) {
+    gnorm += Dot(g, g);
+  }
+  EXPECT_GT(gnorm, 0.0);
+}
+
+TEST(GainImputerTest, CloneHasFreshParameters) {
+  GainImputerOptions o;
+  o.deep = FastDeep(1);
+  GainImputer gain(o);
+  Bench b = MakeBench(64);
+  ASSERT_TRUE(gain.Fit(b.train).ok());
+  auto clone = gain.CloneArchitecture(123);
+  EXPECT_EQ(clone->name(), "GAIN");
+  // Clone is untrained: its store is empty until first use.
+  ASSERT_TRUE(clone->Fit(b.train).ok());
+  EXPECT_EQ(clone->generator_params().NumScalars(),
+            gain.generator_params().NumScalars());
+  // Parameters differ (different seed/init).
+  std::vector<double> a = gain.generator_params().ToFlat();
+  std::vector<double> c = clone->generator_params().ToFlat();
+  double diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) diff += std::abs(a[i] - c[i]);
+  EXPECT_GT(diff, 1e-3);
+}
+
+TEST(GainImputerTest, LossesAreTracked) {
+  Bench b = MakeBench(128);
+  GainImputerOptions o;
+  o.deep = FastDeep(2);
+  GainImputer gain(o);
+  ASSERT_TRUE(gain.Fit(b.train).ok());
+  EXPECT_GT(gain.last_d_loss(), 0.0);
+  EXPECT_GT(gain.last_g_loss(), 0.0);
+}
+
+TEST(GinnImputerTest, GraphGeneratorTrains) {
+  Bench b = MakeBench(150, 0.3);
+  GinnImputerOptions o;
+  // GINN takes one full-batch generator step per epoch, so it needs many
+  // more epochs than the mini-batch models to converge.
+  o.deep = FastDeep(200);
+  o.critic_steps = 2;  // fast test config (paper uses 5)
+  GinnImputer ginn(o);
+  ASSERT_TRUE(ginn.Fit(b.train).ok());
+  const double rmse = MaskedRmse(ginn.Impute(b.train), b.truth, b.eval_mask);
+  EXPECT_LT(rmse, 1.1 * MeanRmse(b));
+}
+
+TEST(GinnImputerTest, BatchLocalReconstructOnTape) {
+  Bench b = MakeBench(96);
+  GinnImputerOptions o;
+  o.deep = FastDeep(1);
+  GinnImputer ginn(o);
+  Tape tape;
+  Matrix x = b.train.values().RowRange(0, 48);
+  Matrix m = b.train.mask().RowRange(0, 48);
+  Var xbar = ginn.ReconstructOnTape(tape, x, m, true);
+  EXPECT_EQ(xbar.rows(), 48u);
+  Var loss = Mean(Square(xbar));
+  tape.Backward(loss);
+  double gnorm = 0;
+  for (const Matrix& g : ginn.generator_params().CollectGrads()) {
+    gnorm += Dot(g, g);
+  }
+  EXPECT_GT(gnorm, 0.0);
+}
+
+TEST(DeepImputersTest, EmptyDatasetRejected) {
+  Dataset empty("e", Matrix(0, 3), Matrix(0, 3), NumericColumns(3));
+  MlpImputerOptions o;
+  MlpImputer imp(o);
+  EXPECT_FALSE(imp.Fit(empty).ok());
+  GainImputer gain;
+  EXPECT_FALSE(gain.Fit(empty).ok());
+}
+
+}  // namespace
+}  // namespace scis

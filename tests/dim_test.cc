@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dim.h"
+#include "data/missingness.h"
+#include "data/normalizer.h"
+#include "eval/metrics.h"
+#include "models/gain_imputer.h"
+#include "models/ginn_imputer.h"
+#include "models/mean_imputer.h"
+#include "tensor/matrix_ops.h"
+
+namespace scis {
+namespace {
+
+struct Bench {
+  Dataset train;
+  Matrix truth;
+  Matrix eval_mask;
+};
+
+Bench MakeBench(size_t n = 256, double miss = 0.3, uint64_t seed = 21) {
+  Rng rng(seed);
+  Matrix x(n, 4);
+  for (size_t i = 0; i < n; ++i) {
+    const double z = rng.Uniform();
+    x(i, 0) = z;
+    x(i, 1) = 1 - z + rng.Normal(0, 0.05);
+    x(i, 2) = 0.5 * z + rng.Normal(0, 0.05);
+    x(i, 3) = z * z + rng.Normal(0, 0.05);
+  }
+  Dataset incomplete = InjectMcar(Dataset::Complete("b", x), miss, rng);
+  HoldOut h = MakeHoldOut(incomplete, 0.2, rng);
+  MinMaxNormalizer norm;
+  Bench b;
+  b.train = norm.FitTransform(h.train);
+  b.eval_mask = h.eval_mask;
+  b.truth = Matrix(n, 4);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < 4; ++j)
+      if (h.eval_mask(i, j) == 1.0)
+        b.truth(i, j) =
+            (h.truth(i, j) - norm.lo()[j]) / (norm.hi()[j] - norm.lo()[j]);
+  return b;
+}
+
+DimOptions FastDim(int epochs, bool critic) {
+  DimOptions o;
+  o.epochs = epochs;
+  o.batch_size = 64;
+  o.lambda = 1.0;  // test-scale λ; §VI's 130 is exercised separately
+  o.sinkhorn_iters = 50;
+  o.use_critic = critic;
+  return o;
+}
+
+TEST(DimTest, TrainingReducesMsDivergence) {
+  Bench b = MakeBench();
+  GainImputerOptions go;
+  go.deep.epochs = 1;
+  GainImputer gain(go);
+  DimTrainer probe(FastDim(1, false));
+  // Untrained loss on a fixed batch.
+  Matrix x = b.train.values().RowRange(0, 128);
+  Matrix m = b.train.mask().RowRange(0, 128);
+  Tape warm;  // builds the nets lazily
+  gain.ReconstructOnTape(warm, x, m, false);
+  gain.generator_params().CollectGrads();
+  const double before = probe.EvalLoss(gain, x, m);
+  DimTrainer dim(FastDim(40, false));
+  ASSERT_TRUE(dim.Train(gain, b.train).ok());
+  const double after = probe.EvalLoss(gain, x, m);
+  EXPECT_LT(after, before);
+}
+
+TEST(DimTest, IdentityCriticImputesBetterThanMean) {
+  Bench b = MakeBench();
+  GainImputerOptions go;
+  go.deep.epochs = 1;
+  GainImputer gain(go);
+  DimTrainer dim(FastDim(60, false));
+  ASSERT_TRUE(dim.Train(gain, b.train).ok());
+  MeanImputer mean;
+  ASSERT_TRUE(mean.Fit(b.train).ok());
+  const double rmse_dim =
+      MaskedRmse(gain.Impute(b.train), b.truth, b.eval_mask);
+  const double rmse_mean =
+      MaskedRmse(mean.Impute(b.train), b.truth, b.eval_mask);
+  EXPECT_LT(rmse_dim, rmse_mean);
+}
+
+TEST(DimTest, LearnedCriticVariantTrains) {
+  Bench b = MakeBench(192);
+  GainImputerOptions go;
+  go.deep.epochs = 1;
+  GainImputer gain(go);
+  DimTrainer dim(FastDim(20, true));
+  ASSERT_TRUE(dim.Train(gain, b.train).ok());
+  EXPECT_GT(dim.stats().steps, 0);
+  // Reconstruction stays within [0,1] (sigmoid generator).
+  Matrix rec = gain.Reconstruct(b.train);
+  EXPECT_GE(MinValue(rec), 0.0);
+  EXPECT_LE(MaxValue(rec), 1.0);
+}
+
+TEST(DimTest, WorksWithGinnGenerator) {
+  Bench b = MakeBench(128);
+  GinnImputerOptions go;
+  go.deep.epochs = 1;
+  GinnImputer ginn(go);
+  DimTrainer dim(FastDim(10, false));
+  ASSERT_TRUE(dim.Train(ginn, b.train).ok());
+  Matrix rec = ginn.Reconstruct(b.train);
+  EXPECT_EQ(rec.rows(), 128u);
+}
+
+TEST(DimTest, RejectsTinyDataset) {
+  GainImputer gain;
+  Dataset one("x", Matrix(1, 2), Matrix(1, 2), NumericColumns(2));
+  DimTrainer dim(FastDim(1, false));
+  EXPECT_FALSE(dim.Train(gain, one).ok());
+}
+
+TEST(DimTest, PaperLambdaTrainsStably) {
+  // λ = 130 (the §VI setting) must not blow up numerically.
+  Bench b = MakeBench(128);
+  GainImputerOptions go;
+  go.deep.epochs = 1;
+  GainImputer gain(go);
+  DimOptions o = FastDim(5, false);
+  o.lambda = 130.0;
+  DimTrainer dim(o);
+  ASSERT_TRUE(dim.Train(gain, b.train).ok());
+  EXPECT_TRUE(std::isfinite(dim.stats().final_loss));
+  Matrix rec = gain.Reconstruct(b.train);
+  for (size_t k = 0; k < rec.size(); ++k) {
+    EXPECT_TRUE(std::isfinite(rec.data()[k]));
+  }
+}
+
+TEST(DimTest, ReconWeightZeroStillLearnsDistribution) {
+  Bench b = MakeBench(192);
+  GainImputerOptions go;
+  go.deep.epochs = 1;
+  GainImputer gain(go);
+  DimOptions o = FastDim(40, false);
+  o.recon_weight = 0.0;  // pure Eq.-3 objective (ablation arm)
+  DimTrainer dim(o);
+  ASSERT_TRUE(dim.Train(gain, b.train).ok());
+  EXPECT_TRUE(std::isfinite(dim.stats().final_divergence));
+}
+
+TEST(DimTest, WarmStartContinuesTraining) {
+  // Algorithm 1 retrains M0 on the larger sample; optimizer state persists.
+  Bench b = MakeBench();
+  GainImputerOptions go;
+  go.deep.epochs = 1;
+  GainImputer gain(go);
+  DimTrainer dim(FastDim(10, false));
+  ASSERT_TRUE(dim.Train(gain, b.train).ok());
+  const long steps_first = dim.stats().steps;
+  ASSERT_TRUE(dim.Train(gain, b.train).ok());
+  EXPECT_GT(dim.stats().steps, steps_first);
+}
+
+}  // namespace
+}  // namespace scis

@@ -1,0 +1,132 @@
+// Full-covariance SSE mode: sampling with the complete Gauss–Newton matrix
+// (DESIGN.md §5 — used to validate the diagonal default), plus the
+// median/mode statistical imputer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dim.h"
+#include "core/sse.h"
+#include "data/missingness.h"
+#include "models/gain_imputer.h"
+#include "models/median_imputer.h"
+#include "tensor/matrix_ops.h"
+
+namespace scis {
+namespace {
+
+Dataset SmallData(uint64_t seed) {
+  Rng rng(seed);
+  Matrix x(300, 2);
+  for (size_t i = 0; i < 300; ++i) {
+    const double z = rng.Uniform();
+    x(i, 0) = z;
+    x(i, 1) = 1 - z + rng.Normal(0, 0.05);
+  }
+  return InjectMcar(Dataset::Complete("gn", x), 0.3, rng);
+}
+
+std::unique_ptr<GainImputer> SmallTrained(const Dataset& data) {
+  GainImputerOptions go;
+  go.deep.epochs = 1;
+  auto gain = std::make_unique<GainImputer>(go);
+  DimOptions d;
+  d.epochs = 8;
+  d.batch_size = 64;
+  d.lambda = 1.0;
+  d.sinkhorn_iters = 30;
+  DimTrainer dim(d);
+  EXPECT_TRUE(dim.Train(*gain, data).ok());
+  return gain;
+}
+
+TEST(FullGnTest, PrepareSucceedsOnSmallGenerator) {
+  Dataset data = SmallData(1);
+  auto model = SmallTrained(data);
+  SseOptions o;
+  o.full_gauss_newton = true;
+  o.curvature_batches = 32;
+  o.curvature_batch_size = 128;
+  SseEstimator sse(o);
+  ASSERT_TRUE(sse.Prepare(*model, data).ok());
+}
+
+TEST(FullGnTest, RefusesHugeParameterCounts) {
+  Dataset data = SmallData(2);
+  auto model = SmallTrained(data);
+  SseOptions o;
+  o.full_gauss_newton = true;
+  o.full_gn_max_params = 3;  // below the real parameter count
+  SseEstimator sse(o);
+  EXPECT_EQ(sse.Prepare(*model, data).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FullGnTest, ProbabilityStillMonotoneAndDiagonalComparable) {
+  Dataset data = SmallData(3);
+  Rng rng(4);
+  Dataset validation =
+      data.GatherRows(rng.SampleWithoutReplacement(300, 80));
+  auto model = SmallTrained(data);
+
+  SseOptions base;
+  base.k = 8;
+  base.curvature_batches = 16;
+  base.curvature_batch_size = 128;
+  base.epsilon = 0.02;
+  base.eta_scale = 0.05;
+
+  SseOptions full = base;
+  full.full_gauss_newton = true;
+  SseEstimator diag_est(base), full_est(full);
+  ASSERT_TRUE(diag_est.Prepare(*model, data).ok());
+  ASSERT_TRUE(full_est.Prepare(*model, data).ok());
+
+  double prev = -1.0;
+  for (size_t n : {60u, 120u, 300u}) {
+    const double p = full_est.ProbabilityAt(*model, validation, 60, n, 300);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+  // At n = N both modes collapse the pair distance to zero.
+  EXPECT_DOUBLE_EQ(
+      full_est.ProbabilityAt(*model, validation, 60, 300, 300), 1.0);
+  EXPECT_DOUBLE_EQ(
+      diag_est.ProbabilityAt(*model, validation, 60, 300, 300), 1.0);
+
+  // The diagonal approximation should agree with the full covariance
+  // within a factor on the intermediate probability (same CRN seeds).
+  const double pd = diag_est.ProbabilityAt(*model, validation, 60, 120, 300);
+  const double pf = full_est.ProbabilityAt(*model, validation, 60, 120, 300);
+  EXPECT_NEAR(pd, pf, 0.5);
+}
+
+TEST(MedianImputerTest, MedianForNumericModeForBinary) {
+  Matrix x{{1.0, 1.0}, {2.0, 1.0}, {100.0, 0.0}, {0.0, 1.0}};
+  Matrix m{{1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}, {0.0, 1.0}};
+  std::vector<ColumnMeta> cols(2);
+  cols[0] = {"num", ColumnKind::kNumeric, 0};
+  cols[1] = {"bin", ColumnKind::kBinary, 0};
+  Dataset d("med", x, m, cols);
+  MedianImputer imp;
+  ASSERT_TRUE(imp.Fit(d).ok());
+  Matrix rec = imp.Reconstruct(d);
+  EXPECT_DOUBLE_EQ(rec(0, 0), 2.0);  // median of {1,2,100}; robust to 100
+  EXPECT_DOUBLE_EQ(rec(0, 1), 1.0);  // mode of {1,1,0,1}
+}
+
+TEST(MedianImputerTest, RobustToOutliersWhereMeanIsNot) {
+  Rng rng(5);
+  Matrix x(200, 1);
+  for (size_t i = 0; i < 200; ++i) {
+    x(i, 0) = i < 190 ? rng.Uniform(0.4, 0.6) : 1000.0;  // 5% outliers
+  }
+  Dataset d = InjectMcar(Dataset::Complete("rob", x), 0.3, rng);
+  MedianImputer med;
+  ASSERT_TRUE(med.Fit(d).ok());
+  const double fill = med.Reconstruct(d)(0, 0);
+  EXPECT_GT(fill, 0.3);
+  EXPECT_LT(fill, 0.7);  // the mean would sit near 25+
+}
+
+}  // namespace
+}  // namespace scis

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "tensor/rng.h"
+
+namespace scis {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 2.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 2.0);
+  }
+}
+
+TEST(RngTest, UniformMomentsApproximate) {
+  Rng rng(6);
+  double sum = 0, sum2 = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.Uniform();
+    sum += u;
+    sum2 += u * u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+  EXPECT_NEAR(sum2 / n - 0.25, 1.0 / 12.0, 0.01);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(7);
+  double sum = 0, sum2 = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.Normal();
+    sum += z;
+    sum2 += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalShiftScale) {
+  Rng rng(8);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(9);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, UniformIndexCoversRange) {
+  Rng rng(10);
+  std::set<size_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformIndex(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(RngTest, PermutationIsBijective) {
+  Rng rng(11);
+  for (size_t n : {1u, 2u, 17u, 100u}) {
+    std::vector<size_t> p = rng.Permutation(n);
+    std::sort(p.begin(), p.end());
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(p[i], i);
+  }
+}
+
+TEST(RngTest, PermutationShuffles) {
+  Rng rng(12);
+  std::vector<size_t> p = rng.Permutation(100);
+  size_t fixed = 0;
+  for (size_t i = 0; i < 100; ++i) fixed += (p[i] == i);
+  EXPECT_LT(fixed, 10u);  // E[fixed] = 1
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(13);
+  std::vector<size_t> s = rng.SampleWithoutReplacement(50, 20);
+  std::set<size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 20u);
+  for (size_t v : s) EXPECT_LT(v, 50u);
+}
+
+TEST(RngTest, SampleAllIsPermutation) {
+  Rng rng(14);
+  std::vector<size_t> s = rng.SampleWithoutReplacement(10, 10);
+  std::sort(s.begin(), s.end());
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(RngTest, MatrixGenerators) {
+  Rng rng(15);
+  Matrix u = rng.UniformMatrix(10, 10, 2.0, 3.0);
+  for (size_t k = 0; k < u.size(); ++k) {
+    EXPECT_GE(u[k], 2.0);
+    EXPECT_LT(u[k], 3.0);
+  }
+  Matrix b = rng.BernoulliMatrix(50, 50, 0.5);
+  double ones = 0;
+  for (size_t k = 0; k < b.size(); ++k) {
+    EXPECT_TRUE(b[k] == 0.0 || b[k] == 1.0);
+    ones += b[k];
+  }
+  EXPECT_NEAR(ones / b.size(), 0.5, 0.05);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(42);
+  Rng b = a.Split();
+  // The split stream should not reproduce the parent's next outputs.
+  Rng a2(42);
+  a2.Split();
+  EXPECT_EQ(a.NextU64(), a2.NextU64());  // parent deterministic post-split
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace scis

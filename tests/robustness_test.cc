@@ -1,0 +1,210 @@
+// Failure-injection and edge-case coverage across modules: degenerate
+// datasets (fully-missing rows/columns, single column, constant values),
+// extreme Sinkhorn regularization, and API misuse that must fail cleanly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dim.h"
+#include "core/scis.h"
+#include "data/missingness.h"
+#include "models/gain_imputer.h"
+#include "models/knn_imputer.h"
+#include "models/mean_imputer.h"
+#include "models/mice_imputer.h"
+#include "models/mlp_imputer.h"
+#include "ot/divergence.h"
+#include "tensor/matrix_ops.h"
+
+namespace scis {
+namespace {
+
+Dataset WithFullyMissingRow(uint64_t seed) {
+  Rng rng(seed);
+  Matrix values = rng.UniformMatrix(40, 3, 0, 1);
+  Matrix mask = rng.BernoulliMatrix(40, 3, 0.7);
+  for (size_t j = 0; j < 3; ++j) mask(0, j) = 0.0;  // row 0 fully missing
+  MulInPlace(values, mask);
+  return Dataset("row0", values, mask, {});
+}
+
+Dataset WithFullyMissingColumn(uint64_t seed) {
+  Rng rng(seed);
+  Matrix values = rng.UniformMatrix(40, 3, 0, 1);
+  Matrix mask = rng.BernoulliMatrix(40, 3, 0.7);
+  for (size_t i = 0; i < 40; ++i) mask(i, 2) = 0.0;  // column 2 all missing
+  MulInPlace(values, mask);
+  return Dataset("col2", values, mask, {});
+}
+
+TEST(RobustnessTest, MeanImputerOnFullyMissingColumn) {
+  Dataset d = WithFullyMissingColumn(1);
+  MeanImputer imp;
+  ASSERT_TRUE(imp.Fit(d).ok());
+  Matrix out = imp.Impute(d);
+  for (size_t i = 0; i < out.rows(); ++i) {
+    EXPECT_TRUE(std::isfinite(out(i, 2)));
+  }
+}
+
+TEST(RobustnessTest, KnnOnFullyMissingRow) {
+  Dataset d = WithFullyMissingRow(2);
+  KnnImputer imp;
+  ASSERT_TRUE(imp.Fit(d).ok());
+  Matrix out = imp.Impute(d);
+  for (size_t j = 0; j < out.cols(); ++j) {
+    EXPECT_TRUE(std::isfinite(out(0, j)));
+  }
+}
+
+TEST(RobustnessTest, MiceOnFullyMissingColumn) {
+  Dataset d = WithFullyMissingColumn(3);
+  MiceImputer imp;
+  ASSERT_TRUE(imp.Fit(d).ok());
+  Matrix out = imp.Impute(d);
+  for (size_t k = 0; k < out.size(); ++k) {
+    EXPECT_TRUE(std::isfinite(out.data()[k]));
+  }
+}
+
+TEST(RobustnessTest, GainTrainsWithFullyMissingRow) {
+  Dataset d = WithFullyMissingRow(4);
+  GainImputerOptions o;
+  o.deep.epochs = 3;
+  o.deep.batch_size = 8;
+  GainImputer gain(o);
+  ASSERT_TRUE(gain.Fit(d).ok());
+  Matrix out = gain.Impute(d);
+  for (size_t k = 0; k < out.size(); ++k) {
+    EXPECT_TRUE(std::isfinite(out.data()[k]));
+  }
+}
+
+TEST(RobustnessTest, DimTrainsWithFullyMissingRow) {
+  Dataset d = WithFullyMissingRow(5);
+  GainImputerOptions o;
+  o.deep.epochs = 1;
+  GainImputer gain(o);
+  DimOptions dopts;
+  dopts.epochs = 3;
+  dopts.batch_size = 8;
+  dopts.lambda = 130.0;
+  DimTrainer dim(dopts);
+  ASSERT_TRUE(dim.Train(gain, d).ok());
+  EXPECT_TRUE(std::isfinite(dim.stats().final_loss));
+}
+
+TEST(RobustnessTest, SingleColumnDataset) {
+  Rng rng(6);
+  Matrix values = rng.UniformMatrix(60, 1, 0, 1);
+  Matrix mask = rng.BernoulliMatrix(60, 1, 0.6);
+  MulInPlace(values, mask);
+  Dataset d("one", values, mask, {});
+  GainImputerOptions o;
+  o.deep.epochs = 3;
+  o.deep.batch_size = 16;
+  GainImputer gain(o);
+  ASSERT_TRUE(gain.Fit(d).ok());
+  EXPECT_EQ(gain.Impute(d).cols(), 1u);
+  MlpImputerOptions mo;
+  mo.deep.epochs = 3;
+  MlpImputer mlp(mo);
+  ASSERT_TRUE(mlp.Fit(d).ok());
+}
+
+TEST(RobustnessTest, ConstantColumnSurvivesWholePipeline) {
+  Rng rng(7);
+  Matrix values = rng.UniformMatrix(200, 3, 0, 1);
+  for (size_t i = 0; i < 200; ++i) values(i, 1) = 0.5;
+  Dataset complete = Dataset::Complete("const", values);
+  Dataset d = InjectMcar(complete, 0.3, rng);
+  GainImputerOptions o;
+  o.deep.epochs = 2;
+  GainImputer gain(o);
+  Scis scis(ScisOptions{});
+  Result<Matrix> imputed = scis.Run(gain, d);
+  ASSERT_TRUE(imputed.ok());
+  for (size_t k = 0; k < imputed->size(); ++k) {
+    EXPECT_TRUE(std::isfinite(imputed->data()[k]));
+  }
+}
+
+TEST(RobustnessTest, MsDivergenceTinyLambdaStaysFinite) {
+  // The log-domain solver must not overflow at λ = 1e-3 where a naive
+  // Gibbs-kernel implementation underflows to all-zero rows.
+  Rng rng(8);
+  Matrix x = rng.UniformMatrix(10, 3, 0, 1);
+  Matrix xbar = rng.UniformMatrix(10, 3, 0, 1);
+  Matrix m = rng.BernoulliMatrix(10, 3, 0.7);
+  SinkhornOptions opts;
+  opts.lambda = 1e-3;
+  opts.max_iters = 500;
+  DivergenceResult r = MsDivergence(xbar, x, m, opts, true);
+  EXPECT_TRUE(std::isfinite(r.value));
+  for (size_t k = 0; k < r.grad_xbar.size(); ++k) {
+    EXPECT_TRUE(std::isfinite(r.grad_xbar.data()[k]));
+  }
+}
+
+TEST(RobustnessTest, MsDivergenceHugeLambdaStaysFinite) {
+  Rng rng(9);
+  Matrix x = rng.UniformMatrix(10, 3, 0, 1);
+  Matrix xbar = rng.UniformMatrix(10, 3, 0, 1);
+  Matrix m = Matrix::Ones(10, 3);
+  SinkhornOptions opts;
+  opts.lambda = 1e6;
+  DivergenceResult r = MsDivergence(xbar, x, m, opts, true);
+  EXPECT_TRUE(std::isfinite(r.value));
+}
+
+TEST(RobustnessTest, AllMaskedBatchGivesZeroMseGradient) {
+  // WeightedMseLoss with an all-zero weight must not divide by zero.
+  Tape tape;
+  Var p = tape.Leaf(Matrix{{0.4, 0.6}});
+  Var y = tape.Constant(Matrix{{0.1, 0.9}});
+  Var w = tape.Constant(Matrix(1, 2));
+  Var loss = WeightedMseLoss(p, y, w);
+  EXPECT_DOUBLE_EQ(loss.value()(0, 0), 0.0);
+  tape.Backward(loss);
+  EXPECT_TRUE(p.grad().AllClose(Matrix(1, 2)));
+}
+
+TEST(RobustnessTest, ScisOnAlreadyCompleteData) {
+  // No missing cells: SCIS should still run; Eq. 1 returns the data.
+  Rng rng(10);
+  Dataset d = Dataset::Complete("full", rng.UniformMatrix(600, 3, 0, 1));
+  GainImputerOptions o;
+  o.deep.epochs = 2;
+  GainImputer gain(o);
+  ScisOptions opts;
+  opts.initial_size = 100;
+  opts.validation_size = 100;
+  opts.dim.epochs = 3;
+  Scis scis(opts);
+  Result<Matrix> imputed = scis.Run(gain, d);
+  ASSERT_TRUE(imputed.ok());
+  EXPECT_TRUE(imputed->AllClose(d.values()));
+}
+
+TEST(RobustnessTest, HighMissingRateEndToEnd) {
+  // 90% missing: everything must stay finite and observed cells intact.
+  Rng rng(11);
+  Dataset complete = Dataset::Complete("hm", rng.UniformMatrix(500, 4, 0, 1));
+  Dataset d = InjectMcar(complete, 0.9, rng);
+  GainImputerOptions o;
+  o.deep.epochs = 2;
+  GainImputer gain(o);
+  ScisOptions opts;
+  opts.initial_size = 150;
+  opts.validation_size = 100;
+  opts.dim.epochs = 3;
+  Scis scis(opts);
+  Result<Matrix> imputed = scis.Run(gain, d);
+  ASSERT_TRUE(imputed.ok());
+  for (size_t k = 0; k < imputed->size(); ++k) {
+    EXPECT_TRUE(std::isfinite(imputed->data()[k]));
+  }
+}
+
+}  // namespace
+}  // namespace scis

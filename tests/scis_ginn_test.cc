@@ -1,0 +1,70 @@
+// End-to-end SCIS over the GINN generator, plus PreparedData sweeps over
+// all six Table-II dataset shapes at test scale.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/scis.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "models/ginn_imputer.h"
+
+namespace scis {
+namespace {
+
+TEST(ScisGinnTest, EndToEndRuns) {
+  SyntheticSpec spec = TrialSpec(0.08);  // ~515 rows
+  PreparedData prep = PrepareData(spec, 0.2, 0.0, 5);
+  GinnImputerOptions go;
+  go.deep.epochs = 1;
+  GinnImputer ginn(go);
+  ScisOptions opts;
+  opts.validation_size = 100;
+  opts.initial_size = 150;
+  opts.dim.epochs = 5;
+  opts.dim.lambda = 130.0;
+  opts.sse.k = 5;
+  Scis scis(opts);
+  Result<Matrix> imputed = scis.Run(ginn, prep.train);
+  ASSERT_TRUE(imputed.ok()) << imputed.status().ToString();
+  EXPECT_GE(scis.report().n_star, 150u);
+  const double rmse = MaskedRmse(*imputed, prep.truth, prep.eval_mask);
+  EXPECT_GT(rmse, 0.0);
+  EXPECT_LT(rmse, 1.0);
+}
+
+class SpecSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpecSweepTest, PreparedDataIsWellFormedForEveryShape) {
+  const SyntheticSpec spec = AllCovidSpecs(1e-9)[GetParam()];  // 512 rows
+  PreparedData prep = PrepareData(spec, 0.2, 0.0, 3);
+  EXPECT_TRUE(prep.train.Validate().ok());
+  EXPECT_EQ(prep.train.num_cols(), spec.cols);
+  EXPECT_EQ(prep.labels.size(), prep.train.num_rows());
+  EXPECT_EQ(prep.task, spec.task);
+  // Missing rate after hold-out exceeds the inherent rate.
+  EXPECT_GT(prep.train.MissingRate(), spec.missing_rate - 0.05);
+  size_t held = 0;
+  for (size_t k = 0; k < prep.eval_mask.size(); ++k) {
+    held += prep.eval_mask.data()[k] == 1.0;
+  }
+  EXPECT_GT(held, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShapes, SpecSweepTest,
+                         ::testing::Range(0, 6));
+
+TEST(SpecSweepTest, GainImputesEveryShape) {
+  // Smoke: GAIN trains and produces finite imputations on each shape.
+  for (const SyntheticSpec& spec : AllCovidSpecs(1e-9)) {
+    PreparedData prep = PrepareData(spec, 0.2, 0.0, 4);
+    auto imp = MakeImputer("GAIN", 2, 4);
+    ASSERT_TRUE(imp.ok());
+    MethodResult r = RunPlain(**imp, prep);
+    EXPECT_TRUE(r.finished) << spec.name;
+    EXPECT_TRUE(std::isfinite(r.rmse)) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace scis

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "core/scis.h"
+#include "data/missingness.h"
+#include "data/normalizer.h"
+#include "eval/metrics.h"
+#include "models/gain_imputer.h"
+#include "models/mean_imputer.h"
+
+namespace scis {
+namespace {
+
+struct Bench {
+  Dataset train;
+  Matrix truth;
+  Matrix eval_mask;
+};
+
+Bench MakeBench(size_t n, uint64_t seed = 41) {
+  Rng rng(seed);
+  Matrix x(n, 4);
+  for (size_t i = 0; i < n; ++i) {
+    const double z = rng.Uniform();
+    x(i, 0) = z;
+    x(i, 1) = 1 - z + rng.Normal(0, 0.05);
+    x(i, 2) = 0.3 + 0.5 * z + rng.Normal(0, 0.05);
+    x(i, 3) = z * z + rng.Normal(0, 0.05);
+  }
+  Dataset inc = InjectMcar(Dataset::Complete("scis", x), 0.3, rng);
+  HoldOut h = MakeHoldOut(inc, 0.2, rng);
+  MinMaxNormalizer norm;
+  Bench b;
+  b.train = norm.FitTransform(h.train);
+  b.eval_mask = h.eval_mask;
+  b.truth = Matrix(n, 4);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < 4; ++j)
+      if (h.eval_mask(i, j) == 1.0)
+        b.truth(i, j) =
+            (h.truth(i, j) - norm.lo()[j]) / (norm.hi()[j] - norm.lo()[j]);
+  return b;
+}
+
+ScisOptions FastScis() {
+  ScisOptions o;
+  o.validation_size = 120;
+  o.initial_size = 200;
+  o.dim.epochs = 15;
+  o.dim.batch_size = 64;
+  o.dim.lambda = 1.0;
+  o.dim.sinkhorn_iters = 40;
+  o.dim.use_critic = false;
+  o.sse.k = 8;
+  o.sse.curvature_batches = 4;
+  o.sse.epsilon = 0.02;
+  o.sse.eta_scale = 0.05;
+  return o;
+}
+
+TEST(ScisTest, EndToEndProducesReport) {
+  Bench b = MakeBench(1200);
+  GainImputerOptions go;
+  go.deep.epochs = 1;
+  GainImputer gain(go);
+  Scis scis(FastScis());
+  Result<Matrix> imputed = scis.Run(gain, b.train);
+  ASSERT_TRUE(imputed.ok()) << imputed.status().ToString();
+  const ScisReport& rep = scis.report();
+  EXPECT_GE(rep.n_star, 200u);
+  EXPECT_LE(rep.n_star, 1200u);
+  EXPECT_GT(rep.training_sample_rate, 0.0);
+  EXPECT_LE(rep.training_sample_rate, 1.0);
+  EXPECT_GT(rep.dim_initial_seconds, 0.0);
+  EXPECT_GT(rep.sse_seconds, 0.0);
+  EXPECT_GT(rep.total_seconds, 0.0);
+}
+
+TEST(ScisTest, ImputedMatrixPreservesObserved) {
+  Bench b = MakeBench(900);
+  GainImputerOptions go;
+  go.deep.epochs = 1;
+  GainImputer gain(go);
+  Scis scis(FastScis());
+  Result<Matrix> imputed = scis.Run(gain, b.train);
+  ASSERT_TRUE(imputed.ok());
+  for (size_t k = 0; k < imputed->size(); ++k) {
+    if (b.train.mask().data()[k] == 1.0) {
+      EXPECT_DOUBLE_EQ(imputed->data()[k], b.train.values().data()[k]);
+    }
+  }
+}
+
+TEST(ScisTest, AccuracyComparableToMean) {
+  Bench b = MakeBench(1200);
+  GainImputerOptions go;
+  go.deep.epochs = 1;
+  GainImputer gain(go);
+  Scis scis(FastScis());
+  Result<Matrix> imputed = scis.Run(gain, b.train);
+  ASSERT_TRUE(imputed.ok());
+  MeanImputer mean;
+  ASSERT_TRUE(mean.Fit(b.train).ok());
+  const double rmse_scis = MaskedRmse(*imputed, b.truth, b.eval_mask);
+  const double rmse_mean =
+      MaskedRmse(mean.Impute(b.train), b.truth, b.eval_mask);
+  EXPECT_LT(rmse_scis, rmse_mean);
+}
+
+TEST(ScisTest, LooseEpsilonTrainsOnlyInitialSet) {
+  Bench b = MakeBench(1000);
+  GainImputerOptions go;
+  go.deep.epochs = 1;
+  GainImputer gain(go);
+  ScisOptions o = FastScis();
+  o.sse.epsilon = 10.0;
+  Scis scis(o);
+  ASSERT_TRUE(scis.Run(gain, b.train).ok());
+  EXPECT_EQ(scis.report().n_star, o.initial_size);
+  EXPECT_DOUBLE_EQ(scis.report().dim_final_seconds, 0.0);  // no retrain
+}
+
+TEST(ScisTest, RejectsTinyDataset) {
+  GainImputer gain;
+  Dataset tiny("t", Matrix(2, 3), Matrix(2, 3), NumericColumns(3));
+  Scis scis(FastScis());
+  EXPECT_FALSE(scis.Run(gain, tiny).ok());
+}
+
+TEST(ScisTest, ClampsSplitsToDatasetSize) {
+  // validation_size/initial_size larger than the data: clamped, still runs.
+  Bench b = MakeBench(600);
+  ScisOptions o = FastScis();
+  o.validation_size = 10000;
+  o.initial_size = 10000;
+  GainImputerOptions go;
+  go.deep.epochs = 1;
+  GainImputer gain(go);
+  Scis scis(o);
+  Result<Matrix> imputed = scis.Run(gain, b.train);
+  ASSERT_TRUE(imputed.ok()) << imputed.status().ToString();
+}
+
+}  // namespace
+}  // namespace scis

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ot/masked_cost.h"
+#include "ot/sinkhorn.h"
+#include "tensor/matrix_ops.h"
+#include "tensor/rng.h"
+
+namespace scis {
+namespace {
+
+SinkhornOptions Opts(double lambda, int iters = 500) {
+  SinkhornOptions o;
+  o.lambda = lambda;
+  o.max_iters = iters;
+  o.tol = 1e-12;
+  return o;
+}
+
+TEST(SinkhornTest, TrivialOneByOne) {
+  Matrix c{{3.0}};
+  SinkhornSolution s = SolveSinkhorn(c, Opts(0.5));
+  EXPECT_NEAR(s.plan(0, 0), 1.0, 1e-9);
+  EXPECT_NEAR(s.transport_cost, 3.0, 1e-9);
+  // Entropy of a point mass is 0: reg value equals transport cost.
+  EXPECT_NEAR(s.reg_value, 3.0, 1e-9);
+}
+
+class SinkhornMarginalsTest
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(SinkhornMarginalsTest, PlanRespectsUniformMarginals) {
+  auto [n, m, lambda] = GetParam();
+  Rng rng(n * 100 + m);
+  Matrix c = rng.UniformMatrix(n, m, 0.0, 2.0);
+  SinkhornSolution s = SolveSinkhorn(c, Opts(lambda));
+  EXPECT_TRUE(s.converged);
+  for (size_t i = 0; i < static_cast<size_t>(n); ++i) {
+    double row = 0;
+    for (size_t j = 0; j < static_cast<size_t>(m); ++j) {
+      EXPECT_GE(s.plan(i, j), 0.0);
+      row += s.plan(i, j);
+    }
+    EXPECT_NEAR(row, 1.0 / n, 1e-8);
+  }
+  for (size_t j = 0; j < static_cast<size_t>(m); ++j) {
+    double col = 0;
+    for (size_t i = 0; i < static_cast<size_t>(n); ++i) col += s.plan(i, j);
+    EXPECT_NEAR(col, 1.0 / m, 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SinkhornMarginalsTest,
+    ::testing::Values(std::make_tuple(2, 2, 0.1), std::make_tuple(5, 3, 0.5),
+                      std::make_tuple(8, 8, 1.0), std::make_tuple(16, 4, 5.0),
+                      std::make_tuple(32, 32, 130.0),
+                      std::make_tuple(3, 17, 0.05)));
+
+TEST(SinkhornTest, WeightedMarginals) {
+  Matrix c{{0.0, 1.0}, {1.0, 0.0}};
+  std::vector<double> a{0.7, 0.3}, b{0.4, 0.6};
+  SinkhornSolution s = SolveSinkhornWeighted(c, a, b, Opts(0.2));
+  double r0 = s.plan(0, 0) + s.plan(0, 1);
+  double c1 = s.plan(0, 1) + s.plan(1, 1);
+  EXPECT_NEAR(r0, 0.7, 1e-8);
+  EXPECT_NEAR(c1, 0.6, 1e-8);
+}
+
+TEST(SinkhornTest, LargeLambdaApproachesIndependentPlan) {
+  // As λ→∞ the entropic optimum is the product of marginals.
+  Rng rng(3);
+  Matrix c = rng.UniformMatrix(4, 4, 0, 1);
+  SinkhornSolution s = SolveSinkhorn(c, Opts(1e4));
+  for (size_t i = 0; i < 4; ++i)
+    for (size_t j = 0; j < 4; ++j)
+      EXPECT_NEAR(s.plan(i, j), 1.0 / 16.0, 1e-4);
+}
+
+TEST(SinkhornTest, SmallLambdaApproachesExactOt) {
+  // Identity-friendly cost: exact OT matches the diagonal assignment.
+  Matrix c{{0.0, 1.0}, {1.0, 0.0}};
+  SinkhornSolution s = SolveSinkhorn(c, Opts(0.01, 2000));
+  EXPECT_NEAR(s.transport_cost, 0.0, 1e-3);
+  EXPECT_NEAR(s.plan(0, 0), 0.5, 1e-3);
+  EXPECT_NEAR(s.plan(1, 1), 0.5, 1e-3);
+}
+
+TEST(SinkhornTest, PaperEntropyConvention) {
+  // Self-transport of two atoms at distance far apart: plan = diag(1/2),
+  // cost 0, plain entropy Σ P log P = 2·(1/2)log(1/2) = −log 2, so
+  // OT_λ = −λ log 2 (matches Example 1's λ[q log q + (1−q)log(1−q)] shape).
+  Matrix x{{0.0}, {10.0}};
+  Matrix c = PairwiseSquaredDistances(x, x);
+  const double lambda = 0.5;
+  SinkhornSolution s = SolveSinkhorn(c, Opts(lambda, 2000));
+  EXPECT_NEAR(s.transport_cost, 0.0, 1e-6);
+  EXPECT_NEAR(s.reg_value, -lambda * std::log(2.0), 1e-6);
+}
+
+TEST(SinkhornTest, ValueIncreasesWithCostScale) {
+  Rng rng(4);
+  Matrix c = rng.UniformMatrix(6, 6, 0.5, 1.5);
+  const double v1 = SolveSinkhorn(c, Opts(0.3)).transport_cost;
+  const double v2 = SolveSinkhorn(MulScalar(c, 2.0), Opts(0.3)).transport_cost;
+  EXPECT_GT(v2, v1);
+}
+
+TEST(SinkhornTest, SymmetricCostGivesSymmetricSelfPlan) {
+  Rng rng(5);
+  Matrix x = rng.NormalMatrix(6, 3);
+  Matrix c = PairwiseSquaredDistances(x, x);
+  SinkhornSolution s = SolveSinkhorn(c, Opts(0.5, 5000));
+  for (size_t i = 0; i < 6; ++i)
+    for (size_t j = 0; j < 6; ++j)
+      EXPECT_NEAR(s.plan(i, j), s.plan(j, i), 1e-4);
+}
+
+TEST(MaskedCostTest, MatchesDefinition) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix ma{{1.0, 0.0}, {1.0, 1.0}};
+  Matrix b{{5.0, 6.0}};
+  Matrix mb{{0.0, 1.0}};
+  Matrix c = MaskedCostMatrix(a, ma, b, mb);
+  // C[0][0] = ||(1,0) − (0,6)||² = 1 + 36 = 37.
+  EXPECT_NEAR(c(0, 0), 37.0, 1e-12);
+  // C[1][0] = ||(3,4) − (0,6)||² = 9 + 4 = 13.
+  EXPECT_NEAR(c(1, 0), 13.0, 1e-12);
+}
+
+TEST(MaskedCostTest, FullMasksReduceToPlainDistances) {
+  Rng rng(6);
+  Matrix a = rng.NormalMatrix(4, 3);
+  Matrix b = rng.NormalMatrix(5, 3);
+  Matrix ones_a = Matrix::Ones(4, 3), ones_b = Matrix::Ones(5, 3);
+  EXPECT_TRUE(MaskedCostMatrix(a, ones_a, b, ones_b)
+                  .AllClose(PairwiseSquaredDistances(a, b), 1e-9));
+}
+
+TEST(MaskedCostTest, MaskedCoordinatesIgnored) {
+  // Changing a masked-out coordinate must not change the cost.
+  Matrix a{{1.0, 99.0}};
+  Matrix ma{{1.0, 0.0}};
+  Matrix b{{2.0, 3.0}};
+  Matrix mb{{1.0, 1.0}};
+  Matrix c1 = MaskedCostMatrix(a, ma, b, mb);
+  a(0, 1) = -1234.0;
+  Matrix c2 = MaskedCostMatrix(a, ma, b, mb);
+  EXPECT_NEAR(c1(0, 0), c2(0, 0), 1e-12);
+}
+
+}  // namespace
+}  // namespace scis
