@@ -12,13 +12,16 @@ using namespace scis::bench;
 int main(int argc, char** argv) {
   double scale = 0.25;
   long long epochs = 20;
+  long long threads;
   FlagParser flags;
+  AddThreadsFlag(flags, &threads);
   flags.AddDouble("scale", &scale, "row-count multiplier vs the paper");
   flags.AddInt("epochs", &epochs, "DIM training epochs");
   if (Status st = flags.Parse(argc, argv); !st.ok()) {
     std::printf("%s\n", st.ToString().c_str());
     return st.code() == StatusCode::kOutOfRange ? 0 : 1;
   }
+  ApplyThreadsFlag(threads);
 
   SyntheticSpec spec = TrialSpec(scale);
   PreparedData prep = PrepareData(spec, 0.2, 0.0, 7);

@@ -17,8 +17,23 @@
 #include "eval/table.h"
 #include "models/gain_imputer.h"
 #include "models/ginn_imputer.h"
+#include "runtime/runtime.h"
 
 namespace scis::bench {
+
+// Registers the shared --threads flag. 0 (the default) keeps the runtime's
+// own resolution order: SCIS_NUM_THREADS env var, then hardware concurrency.
+inline void AddThreadsFlag(FlagParser& flags, long long* threads) {
+  *threads = 0;
+  flags.AddInt("threads", threads,
+               "runtime worker threads (0 = SCIS_NUM_THREADS or hardware; "
+               "1 = exact serial path)");
+}
+
+// Applies the parsed --threads value; call once after FlagParser::Parse.
+inline void ApplyThreadsFlag(long long threads) {
+  if (threads > 0) runtime::SetNumThreads(static_cast<int>(threads));
+}
 
 // The paper's initial sample sizes (§VI), keyed by dataset name.
 inline size_t PaperInitialSize(const std::string& dataset) {

@@ -50,7 +50,9 @@ int main(int argc, char** argv) {
   double scale = 0.5;
   long long epochs = 20;
   double rate = 0.3;
+  long long threads;
   FlagParser flags;
+  AddThreadsFlag(flags, &threads);
   flags.AddDouble("scale", &scale, "row-count multiplier vs the paper");
   flags.AddInt("epochs", &epochs, "deep-model training epochs");
   flags.AddDouble("rate", &rate, "extra missingness rate injected");
@@ -58,6 +60,7 @@ int main(int argc, char** argv) {
     std::printf("%s\n", st.ToString().c_str());
     return st.code() == StatusCode::kOutOfRange ? 0 : 1;
   }
+  ApplyThreadsFlag(threads);
 
   SyntheticSpec spec = TrialSpec(scale);
   std::printf("=== Extension — missing mechanisms (%s, extra rate %.0f%%) "

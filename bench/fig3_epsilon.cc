@@ -13,7 +13,9 @@ int main(int argc, char** argv) {
   double scale = 0.5;
   long long epochs = 20;
   std::string dataset = "Trial";
+  long long threads;
   FlagParser flags;
+  AddThreadsFlag(flags, &threads);
   flags.AddDouble("scale", &scale, "row-count multiplier vs the paper");
   flags.AddInt("epochs", &epochs, "deep-model training epochs");
   flags.AddString("dataset", &dataset, "which Table-II dataset shape");
@@ -21,6 +23,7 @@ int main(int argc, char** argv) {
     std::printf("%s\n", st.ToString().c_str());
     return st.code() == StatusCode::kOutOfRange ? 0 : 1;
   }
+  ApplyThreadsFlag(threads);
 
   SyntheticSpec spec;
   for (const SyntheticSpec& s : AllCovidSpecs(scale)) {

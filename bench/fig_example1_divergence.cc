@@ -7,12 +7,14 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench/bench_common.h"
 #include "common/flags.h"
 #include "eval/table.h"
 #include "ot/divergence.h"
 #include "common/string_util.h"
 
 using namespace scis;
+using namespace scis::bench;
 
 namespace {
 
@@ -29,13 +31,16 @@ double MsAt(double theta, double q, size_t n, const SinkhornOptions& opts) {
 int main(int argc, char** argv) {
   double q = 0.5;
   long long n = 64;
+  long long threads;
   FlagParser flags;
+  AddThreadsFlag(flags, &threads);
   flags.AddDouble("q", &q, "mask observation probability (Bernoulli)");
   flags.AddInt("n", &n, "empirical sample count");
   if (Status st = flags.Parse(argc, argv); !st.ok()) {
     std::printf("%s\n", st.ToString().c_str());
     return st.code() == StatusCode::kOutOfRange ? 0 : 1;
   }
+  ApplyThreadsFlag(threads);
 
   SinkhornOptions opts;
   opts.lambda = 0.01;

@@ -4,6 +4,11 @@
 // the DESIGN.md ablation on log-domain Sinkhorn cost vs λ.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
 #include "core/dim.h"
 #include "models/gain_imputer.h"
 #include "models/tree.h"
@@ -11,6 +16,7 @@
 #include "nn/optimizer.h"
 #include "ot/divergence.h"
 #include "ot/sinkhorn.h"
+#include "runtime/runtime.h"
 #include "tensor/matrix_ops.h"
 #include "tensor/rng.h"
 #include "tensor/sparse.h"
@@ -171,7 +177,98 @@ void BM_TreeFit(benchmark::State& state) {
 }
 BENCHMARK(BM_TreeFit)->Arg(1024)->Arg(8192);
 
+// ---------------------------------------------------------------------------
+// Thread-count sweeps for the runtime-parallelized hot paths. Each arm
+// reconfigures the global pool, times the kernel by hand, and reports the
+// speedup over the 1-thread arm (which runs first and is the exact serial
+// code path) plus the runtime's chunk/busy counters — this is the perf
+// trajectory the BENCH json tracks.
+
+double g_sinkhorn_serial_ns = 0.0;
+double g_matmul_serial_ns = 0.0;
+
+template <typename Kernel>
+void RunThreadSweep(benchmark::State& state, int threads,
+                    double* serial_ns_slot, Kernel&& kernel) {
+  runtime::SetNumThreads(threads);
+  runtime::ResetStats();
+  double total_ns = 0.0;
+  int64_t iters = 0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    kernel();
+    const auto t1 = std::chrono::steady_clock::now();
+    total_ns += static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+    ++iters;
+  }
+  const double per_iter = iters > 0 ? total_ns / static_cast<double>(iters)
+                                    : 0.0;
+  if (threads == 1) *serial_ns_slot = per_iter;
+  const runtime::Stats stats = runtime::GetStats();
+  state.counters["threads"] = threads;
+  state.counters["worker_chunks"] =
+      static_cast<double>(stats.worker_chunks) /
+      std::max<int64_t>(1, iters);
+  state.counters["pool_busy_ms"] =
+      static_cast<double>(stats.busy_ns) / 1e6 /
+      std::max<int64_t>(1, iters);
+  if (*serial_ns_slot > 0.0 && per_iter > 0.0) {
+    state.counters["speedup_vs_1t"] = *serial_ns_slot / per_iter;
+  }
+  runtime::SetNumThreads(0);  // restore the env/hardware default
+}
+
+// Fixed iteration count (tol = 0 never converges early) so every arm does
+// identical work on the paper-scale 1000x1000 cost matrix.
+void BM_SinkhornThreadSweep(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  Rng rng(10);
+  Matrix x = rng.UniformMatrix(1000, 8, 0, 1);
+  Matrix cost = PairwiseSquaredDistances(x, x);
+  SinkhornOptions opts;
+  opts.lambda = 130.0;
+  opts.max_iters = 5;
+  opts.tol = 0.0;
+  RunThreadSweep(state, threads, &g_sinkhorn_serial_ns, [&] {
+    benchmark::DoNotOptimize(SolveSinkhorn(cost, opts).reg_value);
+  });
+}
+BENCHMARK(BM_SinkhornThreadSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MatMulThreadSweep(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  Rng rng(11);
+  Matrix a = rng.NormalMatrix(512, 512);
+  Matrix b = rng.NormalMatrix(512, 512);
+  RunThreadSweep(state, threads, &g_matmul_serial_ns, [&] {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  });
+}
+BENCHMARK(BM_MatMulThreadSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace scis
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // --threads=<n> is ours (sets the default pool size for the non-sweep
+  // benches); strip it before google-benchmark sees the argv.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      scis::runtime::SetNumThreads(std::atoi(argv[i] + 10));
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::printf("%s\n", scis::runtime::GetStats().ToString().c_str());
+  return 0;
+}

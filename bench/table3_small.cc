@@ -72,7 +72,9 @@ int main(int argc, char** argv) {
   double scale = 0.5;
   long long epochs = 20;
   long long repeats = 1;
+  long long threads;
   FlagParser flags;
+  AddThreadsFlag(flags, &threads);
   flags.AddDouble("scale", &scale, "row-count multiplier vs the paper");
   flags.AddInt("epochs", &epochs, "deep-model training epochs");
   flags.AddInt("repeats", &repeats, "random divisions averaged (paper: 5)");
@@ -80,6 +82,7 @@ int main(int argc, char** argv) {
     std::printf("%s\n", st.ToString().c_str());
     return st.code() == StatusCode::kOutOfRange ? 0 : 1;
   }
+  ApplyThreadsFlag(threads);
 
   // Paper availability pattern (Table III): "-" entries are methods that
   // exceeded 10^5 s on that dataset.

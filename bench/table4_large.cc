@@ -66,7 +66,9 @@ int main(int argc, char** argv) {
   double scale = 1.0;  // multiplier on the CPU-sized defaults below
   long long epochs = 15;
   long long repeats = 1;
+  long long threads;
   FlagParser flags;
+  AddThreadsFlag(flags, &threads);
   flags.AddDouble("scale", &scale,
                   "multiplier on the CPU-sized default rows");
   flags.AddInt("epochs", &epochs, "deep-model training epochs");
@@ -75,6 +77,7 @@ int main(int argc, char** argv) {
     std::printf("%s\n", st.ToString().c_str());
     return st.code() == StatusCode::kOutOfRange ? 0 : 1;
   }
+  ApplyThreadsFlag(threads);
 
   // CPU-sized fractions of the paper's row counts (documented in
   // EXPERIMENTS.md): Search 948,762 -> ~19k (cols 424 -> 64),

@@ -59,7 +59,9 @@ int main(int argc, char** argv) {
   double scale = 0.5;
   long long epochs = 20;
   long long repeats = 1;
+  long long threads;
   FlagParser flags;
+  AddThreadsFlag(flags, &threads);
   flags.AddDouble("scale", &scale, "row-count multiplier vs the paper");
   flags.AddInt("epochs", &epochs, "deep-model training epochs");
   flags.AddInt("repeats", &repeats, "random divisions averaged");
@@ -67,6 +69,7 @@ int main(int argc, char** argv) {
     std::printf("%s\n", st.ToString().c_str());
     return st.code() == StatusCode::kOutOfRange ? 0 : 1;
   }
+  ApplyThreadsFlag(threads);
   RunDataset(TrialSpec(scale), static_cast<int>(epochs),
              static_cast<int>(repeats), /*run_dim_full=*/true);
   RunDataset(EmergencySpec(scale), static_cast<int>(epochs),

@@ -58,7 +58,9 @@ int main(int argc, char** argv) {
   long long epochs = 15;
   long long repeats = 1;
   bool run_dim_full = false;
+  long long threads;
   FlagParser flags;
+  AddThreadsFlag(flags, &threads);
   flags.AddDouble("scale", &scale,
                   "multiplier on the CPU-sized default rows");
   flags.AddInt("epochs", &epochs, "deep-model training epochs");
@@ -69,6 +71,7 @@ int main(int argc, char** argv) {
     std::printf("%s\n", st.ToString().c_str());
     return st.code() == StatusCode::kOutOfRange ? 0 : 1;
   }
+  ApplyThreadsFlag(threads);
   RunDataset(SearchSpec(0.02 * scale), static_cast<int>(epochs),
              static_cast<int>(repeats), run_dim_full);
   RunDataset(WeatherSpec(0.008 * scale), static_cast<int>(epochs),

@@ -57,7 +57,9 @@ Row RunDataset(const SyntheticSpec& spec, int epochs) {
 int main(int argc, char** argv) {
   double scale = 1.0;
   long long epochs = 15;
+  long long threads;
   FlagParser flags;
+  AddThreadsFlag(flags, &threads);
   flags.AddDouble("scale", &scale,
                   "multiplier on the CPU-sized default rows");
   flags.AddInt("epochs", &epochs, "imputer training epochs");
@@ -65,6 +67,7 @@ int main(int argc, char** argv) {
     std::printf("%s\n", st.ToString().c_str());
     return st.code() == StatusCode::kOutOfRange ? 0 : 1;
   }
+  ApplyThreadsFlag(threads);
 
   std::printf("=== Table VII — post-imputation prediction ===\n");
   TablePrinter table({"Metric", "Dataset", "GAIN", "SCIS-GAIN"});

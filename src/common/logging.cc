@@ -1,11 +1,15 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace scis {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+// Serializes emission only; formatting happens before the lock is taken.
+std::mutex g_emit_mu;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -22,13 +26,16 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(level >= g_level), level_(level) {
+    : enabled_(level >= g_level.load(std::memory_order_relaxed)),
+      level_(level) {
   if (enabled_) {
     const char* base = file;
     for (const char* p = file; *p; ++p)
@@ -39,7 +46,10 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::string line = stream_.str();
+    line.push_back('\n');
+    std::lock_guard<std::mutex> lock(g_emit_mu);
+    std::fwrite(line.data(), 1, line.size(), stderr);
   }
 }
 

@@ -1,5 +1,7 @@
-// Minimal leveled logger writing to stderr. Not thread-safe beyond the
-// atomicity of a single fprintf; the library is single-threaded by design.
+// Minimal leveled logger writing to stderr. Thread-safe: each message is
+// formatted off-lock into its own buffer, then emitted as a single
+// mutex-guarded fwrite, so lines from the runtime's worker threads never
+// interleave. The level threshold is an atomic read.
 #ifndef SCIS_COMMON_LOGGING_H_
 #define SCIS_COMMON_LOGGING_H_
 

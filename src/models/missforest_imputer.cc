@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "models/column_stats.h"
+#include "runtime/parallel_for.h"
 
 namespace scis {
 
@@ -11,14 +12,17 @@ Matrix MissForestImputer::DesignWithout(const Matrix& filled,
                                         size_t j) const {
   const size_t n = filled.rows(), d = filled.cols();
   Matrix x(n, d - 1);
-  for (size_t i = 0; i < n; ++i) {
-    const double* src = filled.row_data(i);
-    double* dst = x.row_data(i);
-    size_t c = 0;
-    for (size_t k = 0; k < d; ++k) {
-      if (k != j) dst[c++] = src[k];
+  runtime::ParallelFor(0, n, runtime::GrainForWork(n, d),
+                       [&](size_t rb, size_t re) {
+    for (size_t i = rb; i < re; ++i) {
+      const double* src = filled.row_data(i);
+      double* dst = x.row_data(i);
+      size_t c = 0;
+      for (size_t k = 0; k < d; ++k) {
+        if (k != j) dst[c++] = src[k];
+      }
     }
-  }
+  });
   return x;
 }
 
@@ -54,14 +58,35 @@ Status MissForestImputer::Fit(const Dataset& data) {
       Matrix x_obs = x.GatherRows(obs_rows);
       RandomForest forest(opts_.forest);
       forest.Fit(x_obs, y);
-      for (size_t i = 0; i < n; ++i) {
-        if (data.IsObserved(i, j)) continue;
-        const double v = forest.Predict(x.row_data(i));
-        const double delta = v - filled(i, j);
-        change += delta * delta;
-        ++changed;
-        filled(i, j) = v;
-      }
+      // Missing-row predictions write disjoint cells of column j; the
+      // squared-change sum reduces over fixed row chunks in order, so the
+      // convergence check is thread-count independent.
+      struct FillDelta {
+        double change = 0.0;
+        size_t changed = 0;
+      };
+      const size_t predict_work = 64 * opts_.forest.num_trees;
+      const FillDelta fd = runtime::ParallelReduce(
+          0, n, runtime::GrainForWork(n, predict_work), FillDelta{},
+          [&](size_t rb, size_t re) {
+            FillDelta part;
+            for (size_t i = rb; i < re; ++i) {
+              if (data.IsObserved(i, j)) continue;
+              const double v = forest.Predict(x.row_data(i));
+              const double delta = v - filled(i, j);
+              part.change += delta * delta;
+              ++part.changed;
+              filled(i, j) = v;
+            }
+            return part;
+          },
+          [](FillDelta acc, const FillDelta& part) {
+            acc.change += part.change;
+            acc.changed += part.changed;
+            return acc;
+          });
+      change += fd.change;
+      changed += fd.changed;
       forests_[j] = std::move(forest);
     }
     if (changed == 0 || change / static_cast<double>(changed) < opts_.tol) {
@@ -76,22 +101,30 @@ Matrix MissForestImputer::Reconstruct(const Dataset& data) const {
   const size_t n = data.num_rows(), d = data.num_cols();
   Matrix filled = FillMissing(data, means_);
   // Two passes: the second predicts from refined fills.
+  const size_t predict_work = 64 * opts_.forest.num_trees;
+  const size_t row_grain = runtime::GrainForWork(n, predict_work);
   for (int pass = 0; pass < 2; ++pass) {
     for (size_t j = 0; j < d; ++j) {
       if (!forests_[j].fitted()) continue;
       Matrix x = DesignWithout(filled, j);
-      for (size_t i = 0; i < n; ++i) {
-        if (!data.IsObserved(i, j)) {
-          filled(i, j) = forests_[j].Predict(x.row_data(i));
+      runtime::ParallelFor(0, n, row_grain, [&](size_t rb, size_t re) {
+        for (size_t i = rb; i < re; ++i) {
+          if (!data.IsObserved(i, j)) {
+            filled(i, j) = forests_[j].Predict(x.row_data(i));
+          }
         }
-      }
+      });
     }
   }
   Matrix out = filled;
   for (size_t j = 0; j < d; ++j) {
     if (!forests_[j].fitted()) continue;
     Matrix x = DesignWithout(filled, j);
-    for (size_t i = 0; i < n; ++i) out(i, j) = forests_[j].Predict(x.row_data(i));
+    runtime::ParallelFor(0, n, row_grain, [&](size_t rb, size_t re) {
+      for (size_t i = rb; i < re; ++i) {
+        out(i, j) = forests_[j].Predict(x.row_data(i));
+      }
+    });
   }
   return out;
 }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "runtime/parallel_for.h"
+
 namespace scis {
 
 namespace {
@@ -117,15 +119,17 @@ double RegressionTree::Predict(const double* row) const {
 
 std::vector<double> RegressionTree::PredictAll(const Matrix& x) const {
   std::vector<double> out(x.rows());
-  for (size_t i = 0; i < x.rows(); ++i) out[i] = Predict(x.row_data(i));
+  runtime::ParallelFor(0, x.rows(), runtime::GrainForWork(x.rows(), 64),
+                       [&](size_t b, size_t e) {
+                         for (size_t i = b; i < e; ++i)
+                           out[i] = Predict(x.row_data(i));
+                       });
   return out;
 }
 
 void RandomForest::Fit(const Matrix& x, const std::vector<double>& y) {
   SCIS_CHECK_EQ(x.rows(), y.size());
   SCIS_CHECK_GT(x.rows(), 0u);
-  trees_.clear();
-  Rng rng(opts_.seed);
   RandomForestOptions opts = opts_;
   if (opts.tree.features_per_split == 0) {
     opts.tree.features_per_split = std::max<size_t>(
@@ -134,12 +138,25 @@ void RandomForest::Fit(const Matrix& x, const std::vector<double>& y) {
   const size_t nsub = std::max<size_t>(
       1, static_cast<size_t>(opts.row_subsample *
                              static_cast<double>(x.rows())));
-  for (size_t t = 0; t < opts.num_trees; ++t) {
-    std::vector<size_t> idx = rng.SampleWithoutReplacement(x.rows(), nsub);
-    RegressionTree tree(opts.tree);
-    tree.Fit(x, y, idx, rng);
-    trees_.push_back(std::move(tree));
-  }
+  // Each tree gets its own Rng stream, pre-seeded serially from the forest
+  // seed, so trees are independent work items: the fit parallelizes and the
+  // grown forest is identical at any thread count (a tree's randomness no
+  // longer threads through its predecessors).
+  std::vector<uint64_t> tree_seeds(opts.num_trees);
+  Rng seeder(opts_.seed);
+  for (uint64_t& s : tree_seeds) s = seeder.NextU64();
+  trees_.assign(opts.num_trees, RegressionTree(opts.tree));
+  const size_t fit_work = nsub * opts.tree.features_per_split *
+                          static_cast<size_t>(opts.tree.max_depth);
+  runtime::ParallelFor(0, opts.num_trees,
+                       runtime::GrainForWork(opts.num_trees, fit_work),
+                       [&](size_t tb, size_t te) {
+    for (size_t t = tb; t < te; ++t) {
+      Rng rng(tree_seeds[t]);
+      std::vector<size_t> idx = rng.SampleWithoutReplacement(x.rows(), nsub);
+      trees_[t].Fit(x, y, idx, rng);
+    }
+  });
 }
 
 double RandomForest::Predict(const double* row) const {
@@ -151,7 +168,11 @@ double RandomForest::Predict(const double* row) const {
 
 std::vector<double> RandomForest::PredictAll(const Matrix& x) const {
   std::vector<double> out(x.rows());
-  for (size_t i = 0; i < x.rows(); ++i) out[i] = Predict(x.row_data(i));
+  runtime::ParallelFor(
+      0, x.rows(), runtime::GrainForWork(x.rows(), 64 * trees_.size()),
+      [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i) out[i] = Predict(x.row_data(i));
+      });
   return out;
 }
 
@@ -188,7 +209,11 @@ double GbdtRegressor::Predict(const double* row) const {
 
 std::vector<double> GbdtRegressor::PredictAll(const Matrix& x) const {
   std::vector<double> out(x.rows());
-  for (size_t i = 0; i < x.rows(); ++i) out[i] = Predict(x.row_data(i));
+  runtime::ParallelFor(
+      0, x.rows(), runtime::GrainForWork(x.rows(), 64 * trees_.size()),
+      [&](size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i) out[i] = Predict(x.row_data(i));
+      });
   return out;
 }
 

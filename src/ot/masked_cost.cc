@@ -1,6 +1,7 @@
 #include "ot/masked_cost.h"
 
 #include "common/check.h"
+#include "runtime/parallel_for.h"
 #include "tensor/matrix_ops.h"
 
 namespace scis {
@@ -19,25 +20,30 @@ Matrix MaskedOtGradWrtA(const Matrix& plan, const Matrix& a, const Matrix& ma,
   SCIS_CHECK_EQ(plan.cols(), b.rows());
   const size_t n = a.rows(), m = b.rows(), d = a.cols();
   Matrix grad(n, d);
-  for (size_t i = 0; i < n; ++i) {
-    const double* ai = a.row_data(i);
-    const double* mi = ma.row_data(i);
-    double* gi = grad.row_data(i);
-    double prow = 0.0;  // Σ_j P_ij, to factor the m_i⊙a_i term out of j-loop
-    for (size_t j = 0; j < m; ++j) prow += plan(i, j);
-    for (size_t j = 0; j < m; ++j) {
-      const double pij = plan(i, j);
-      if (pij == 0.0) continue;
-      const double* bj = b.row_data(j);
-      const double* mj = mb.row_data(j);
+  // Each gradient row depends only on plan row i — disjoint writes, so the
+  // row loop parallelizes with bit-identical per-row arithmetic.
+  runtime::ParallelFor(0, n, runtime::GrainForWork(n, m * d),
+                       [&](size_t rb, size_t re) {
+    for (size_t i = rb; i < re; ++i) {
+      const double* ai = a.row_data(i);
+      const double* mi = ma.row_data(i);
+      double* gi = grad.row_data(i);
+      double prow = 0.0;  // Σ_j P_ij, to factor the m_i⊙a_i term out of j-loop
+      for (size_t j = 0; j < m; ++j) prow += plan(i, j);
+      for (size_t j = 0; j < m; ++j) {
+        const double pij = plan(i, j);
+        if (pij == 0.0) continue;
+        const double* bj = b.row_data(j);
+        const double* mj = mb.row_data(j);
+        for (size_t k = 0; k < d; ++k) {
+          gi[k] -= pij * mj[k] * bj[k];
+        }
+      }
       for (size_t k = 0; k < d; ++k) {
-        gi[k] -= pij * mj[k] * bj[k];
+        gi[k] = 2.0 * mi[k] * (prow * mi[k] * ai[k] + gi[k]);
       }
     }
-    for (size_t k = 0; k < d; ++k) {
-      gi[k] = 2.0 * mi[k] * (prow * mi[k] * ai[k] + gi[k]);
-    }
-  }
+  });
   return grad;
 }
 

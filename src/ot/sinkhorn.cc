@@ -1,8 +1,10 @@
 #include "ot/sinkhorn.h"
 
 #include <cmath>
+#include <vector>
 
 #include "common/check.h"
+#include "runtime/parallel_for.h"
 
 namespace scis {
 
@@ -20,37 +22,55 @@ double LogSumExp(const std::vector<double>& v) {
 
 // Runs log-domain Sinkhorn iterations at weight `lam`, updating the dual
 // potentials f/g in place. Returns iterations used; sets `converged`.
+//
+// Both dual updates are embarrassingly parallel across their output index
+// (every g[j] reads all of f, every f[i] reads all of g, writes are
+// disjoint), so the row/column log-sum-exp loops run under
+// runtime::ParallelFor. Per-element arithmetic is untouched and the
+// convergence delta is a max-reduction (exact under any association), so
+// iterates — and therefore iteration counts — are bit-identical to the
+// serial path at any thread count.
 int RunIterations(const Matrix& cost, const std::vector<double>& loga,
                   const std::vector<double>& logb, double lam, int max_iters,
                   double tol, std::vector<double>& f, std::vector<double>& g,
                   bool* converged) {
   const size_t n = cost.rows(), m = cost.cols();
-  std::vector<double> buf(std::max(n, m));
+  // Grains depend only on the matrix shape (determinism contract).
+  const size_t col_grain = runtime::GrainForWork(m, n);
+  const size_t row_grain = runtime::GrainForWork(n, m);
   *converged = false;
   int it = 0;
   for (; it < max_iters; ++it) {
     // g-update: enforce column marginals in the dual.
-    for (size_t j = 0; j < m; ++j) {
-      buf.resize(n);
-      for (size_t i = 0; i < n; ++i) {
-        buf[i] = (f[i] - cost(i, j)) / lam + loga[i];
+    runtime::ParallelFor(0, m, col_grain, [&](size_t jb, size_t je) {
+      std::vector<double> buf(n);
+      for (size_t j = jb; j < je; ++j) {
+        for (size_t i = 0; i < n; ++i) {
+          buf[i] = (f[i] - cost(i, j)) / lam + loga[i];
+        }
+        g[j] = -lam * LogSumExp(buf);
       }
-      g[j] = -lam * LogSumExp(buf);
-    }
+    });
     // f-update: enforce row marginals, tracking the potential movement.
     // Convergence is declared when the potentials stop moving (relative to
     // λ) — equivalent to small marginal violation but O(1) to check, which
     // matters since this solver runs three times per DIM training batch.
-    double delta = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      buf.resize(m);
-      for (size_t j = 0; j < m; ++j) {
-        buf[j] = (g[j] - cost(i, j)) / lam + logb[j];
-      }
-      const double fnew = -lam * LogSumExp(buf);
-      delta = std::max(delta, std::abs(fnew - f[i]));
-      f[i] = fnew;
-    }
+    const double delta = runtime::ParallelReduce(
+        0, n, row_grain, 0.0,
+        [&](size_t ib, size_t ie) {
+          std::vector<double> buf(m);
+          double d = 0.0;
+          for (size_t i = ib; i < ie; ++i) {
+            for (size_t j = 0; j < m; ++j) {
+              buf[j] = (g[j] - cost(i, j)) / lam + logb[j];
+            }
+            const double fnew = -lam * LogSumExp(buf);
+            d = std::max(d, std::abs(fnew - f[i]));
+            f[i] = fnew;
+          }
+          return d;
+        },
+        [](double a, double b) { return std::max(a, b); });
     if (it > 0 && delta / lam < tol) {
       *converged = true;
       ++it;
@@ -112,19 +132,37 @@ SinkhornSolution SolveSinkhornWeighted(const Matrix& cost,
                              opts.max_iters, opts.tol, f, g, &conv);
   sol.converged = conv;
 
+  // Plan recovery: rows are independent; the transport-cost and entropy
+  // sums reduce over fixed row chunks combined in chunk order, so the
+  // result does not depend on the thread count.
   sol.plan = Matrix(n, m);
-  sol.transport_cost = 0.0;
-  double entropy_term = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j < m; ++j) {
-      const double p =
-          std::exp((f[i] + g[j] - cost(i, j)) / lam + loga[i] + logb[j]);
-      sol.plan(i, j) = p;
-      sol.transport_cost += p * cost(i, j);
-      if (p > 0.0) entropy_term += p * std::log(p);
-    }
-  }
-  sol.reg_value = sol.transport_cost + lam * entropy_term;
+  struct PlanPartial {
+    double cost = 0.0;
+    double entropy = 0.0;
+  };
+  const PlanPartial total = runtime::ParallelReduce(
+      0, n, runtime::GrainForWork(n, m), PlanPartial{},
+      [&](size_t ib, size_t ie) {
+        PlanPartial part;
+        for (size_t i = ib; i < ie; ++i) {
+          double* prow = sol.plan.row_data(i);
+          for (size_t j = 0; j < m; ++j) {
+            const double p =
+                std::exp((f[i] + g[j] - cost(i, j)) / lam + loga[i] + logb[j]);
+            prow[j] = p;
+            part.cost += p * cost(i, j);
+            if (p > 0.0) part.entropy += p * std::log(p);
+          }
+        }
+        return part;
+      },
+      [](PlanPartial acc, const PlanPartial& part) {
+        acc.cost += part.cost;
+        acc.entropy += part.entropy;
+        return acc;
+      });
+  sol.transport_cost = total.cost;
+  sol.reg_value = total.cost + lam * total.entropy;
   sol.f = std::move(f);
   sol.g = std::move(g);
   return sol;

@@ -1,0 +1,113 @@
+// Deterministic data-parallel loops over index ranges.
+//
+// ParallelFor(begin, end, grain, fn) calls fn(b, e) over disjoint subranges
+// covering [begin, end). ParallelReduce additionally folds one value per
+// chunk into an accumulator, combining in ascending chunk order on the
+// calling thread.
+//
+// Determinism: the chunk grid is a pure function of (begin, end, grain) —
+// chunk c covers [begin + c*grain, min(begin + (c+1)*grain, end)) — so the
+// floating-point association of every reduction is fixed regardless of the
+// thread count or of which worker happens to claim which chunk. A one-thread
+// run executes the same chunk loop inline (no pool, no atomics) and produces
+// bit-identical results. Pass a grain derived only from the problem shape,
+// never from NumThreads(), or this guarantee evaporates.
+//
+// Nesting: a parallel region entered from a pool worker runs serially inline
+// (workers must not block on workers), so nested ParallelFor cannot deadlock.
+#ifndef SCIS_RUNTIME_PARALLEL_FOR_H_
+#define SCIS_RUNTIME_PARALLEL_FOR_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "runtime/runtime.h"
+
+namespace scis::runtime {
+
+// Shape-derived grain: targets ~`target` scalar ops per chunk, and returns
+// the whole range (a single chunk, i.e. the serial path) when the entire
+// loop is below it. Depends only on the problem shape — never on the thread
+// count — so using it preserves the determinism contract above.
+inline size_t GrainForWork(size_t n, size_t work_per_item,
+                           size_t target = size_t{1} << 15) {
+  if (n == 0) return 1;
+  const size_t w = std::max<size_t>(1, work_per_item);
+  if (n <= target / w) return n;
+  return std::max<size_t>(1, target / w);
+}
+
+namespace internal {
+
+inline size_t NumChunks(size_t begin, size_t end, size_t grain) {
+  const size_t n = end - begin;
+  const size_t g = grain == 0 ? 1 : grain;
+  return (n + g - 1) / g;
+}
+
+// Runs chunk_fn(chunk_index, chunk_begin, chunk_end) for every chunk of the
+// fixed grid, using the global pool plus the calling thread. Blocks until
+// all chunks finish; rethrows the first chunk exception. Defined in
+// parallel_for.cc.
+void RunChunked(size_t begin, size_t end, size_t grain, size_t num_chunks,
+                const std::function<void(size_t, size_t, size_t)>& chunk_fn);
+
+// True when this region must run inline: single-threaded config, a single
+// chunk, or already on a pool worker (nested region).
+bool UseSerialPath(size_t num_chunks);
+
+}  // namespace internal
+
+template <typename Fn>
+void ParallelFor(size_t begin, size_t end, size_t grain, Fn&& fn) {
+  if (end <= begin) return;
+  const size_t chunks = internal::NumChunks(begin, end, grain);
+  if (internal::UseSerialPath(chunks)) {
+    internal::CountSerialRegion();
+    fn(begin, end);  // the exact serial code path, one contiguous range
+    return;
+  }
+  internal::CountParallelRegion();
+  internal::RunChunked(begin, end, grain, chunks,
+                       [&fn](size_t /*c*/, size_t b, size_t e) { fn(b, e); });
+}
+
+// chunk_fn(b, e) -> T computes one chunk's partial; combine(acc, partial)
+// folds partials in ascending chunk order. T must be movable and
+// default-constructible.
+template <typename T, typename ChunkFn, typename CombineFn>
+T ParallelReduce(size_t begin, size_t end, size_t grain, T identity,
+                 ChunkFn&& chunk_fn, CombineFn&& combine) {
+  if (end <= begin) return identity;
+  const size_t g = grain == 0 ? 1 : grain;
+  const size_t chunks = internal::NumChunks(begin, end, g);
+  T acc = std::move(identity);
+  if (internal::UseSerialPath(chunks)) {
+    // Same chunk grid and combine order as the parallel path, executed
+    // inline: this is what makes 1-vs-N-thread results bit-identical.
+    internal::CountSerialRegion();
+    for (size_t c = 0; c < chunks; ++c) {
+      const size_t b = begin + c * g;
+      const size_t e = b + g < end ? b + g : end;
+      acc = combine(std::move(acc), chunk_fn(b, e));
+    }
+    return acc;
+  }
+  internal::CountParallelRegion();
+  std::vector<T> partial(chunks);
+  internal::RunChunked(begin, end, g, chunks,
+                       [&chunk_fn, &partial](size_t c, size_t b, size_t e) {
+                         partial[c] = chunk_fn(b, e);
+                       });
+  for (size_t c = 0; c < chunks; ++c) {
+    acc = combine(std::move(acc), std::move(partial[c]));
+  }
+  return acc;
+}
+
+}  // namespace scis::runtime
+
+#endif  // SCIS_RUNTIME_PARALLEL_FOR_H_

@@ -1,0 +1,125 @@
+#include "runtime/runtime.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/string_util.h"
+
+namespace scis::runtime {
+
+namespace {
+
+std::mutex g_mu;                          // guards pool (re)construction
+std::unique_ptr<ThreadPool> g_pool;       // nullptr until first parallel use
+int g_num_threads = 0;                    // 0 = not yet resolved
+// Counters survive SetNumThreads() pool rebuilds.
+std::atomic<uint64_t> g_parallel_regions{0};
+std::atomic<uint64_t> g_serial_regions{0};
+std::atomic<uint64_t> g_inline_chunks{0};
+std::atomic<uint64_t> g_worker_chunks{0};
+std::atomic<uint64_t> g_retired_busy_ns{0};
+
+int DefaultNumThreads() {
+  if (const char* env = std::getenv("SCIS_NUM_THREADS")) {
+    Result<long long> parsed = ParseInt(env);
+    if (parsed.ok() && parsed.value() > 0) {
+      return static_cast<int>(parsed.value());
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// Callers hold g_mu.
+void RetirePoolLocked() {
+  if (!g_pool) return;
+  g_retired_busy_ns.fetch_add(g_pool->busy_ns(), std::memory_order_relaxed);
+  g_pool.reset();
+}
+
+int ResolvedNumThreadsLocked() {
+  if (g_num_threads <= 0) g_num_threads = DefaultNumThreads();
+  return g_num_threads;
+}
+
+}  // namespace
+
+int NumThreads() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return ResolvedNumThreadsLocked();
+}
+
+void SetNumThreads(int n) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  const int resolved = n <= 0 ? DefaultNumThreads() : n;
+  if (resolved == g_num_threads && (resolved == 1 || g_pool)) return;
+  RetirePoolLocked();
+  g_num_threads = resolved;
+}
+
+ThreadPool* GetPool() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  const int n = ResolvedNumThreadsLocked();
+  if (n <= 1) return nullptr;
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(n);
+  return g_pool.get();
+}
+
+Stats GetStats() {
+  Stats s;
+  std::lock_guard<std::mutex> lock(g_mu);
+  s.num_threads = ResolvedNumThreadsLocked();
+  s.parallel_regions = g_parallel_regions.load(std::memory_order_relaxed);
+  s.serial_regions = g_serial_regions.load(std::memory_order_relaxed);
+  s.inline_chunks = g_inline_chunks.load(std::memory_order_relaxed);
+  s.worker_chunks = g_worker_chunks.load(std::memory_order_relaxed);
+  s.busy_ns = g_retired_busy_ns.load(std::memory_order_relaxed);
+  if (g_pool) s.busy_ns += g_pool->busy_ns();
+  return s;
+}
+
+void ResetStats() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_pool) {
+    // Unsigned wrap-around: GetStats() adds the live pool's busy_ns back,
+    // so the visible total reads zero as of this reset.
+    g_retired_busy_ns.store(0 - g_pool->busy_ns(), std::memory_order_relaxed);
+  } else {
+    g_retired_busy_ns.store(0, std::memory_order_relaxed);
+  }
+  g_parallel_regions.store(0, std::memory_order_relaxed);
+  g_serial_regions.store(0, std::memory_order_relaxed);
+  g_inline_chunks.store(0, std::memory_order_relaxed);
+  g_worker_chunks.store(0, std::memory_order_relaxed);
+}
+
+std::string Stats::ToString() const {
+  return StrFormat(
+      "runtime{threads=%d regions(par=%llu serial=%llu) "
+      "chunks(worker=%llu inline=%llu) busy_ms=%.2f}",
+      num_threads, static_cast<unsigned long long>(parallel_regions),
+      static_cast<unsigned long long>(serial_regions),
+      static_cast<unsigned long long>(worker_chunks),
+      static_cast<unsigned long long>(inline_chunks),
+      static_cast<double>(busy_ns) / 1e6);
+}
+
+namespace internal {
+void CountSerialRegion() {
+  g_serial_regions.fetch_add(1, std::memory_order_relaxed);
+}
+void CountParallelRegion() {
+  g_parallel_regions.fetch_add(1, std::memory_order_relaxed);
+}
+void CountInlineChunks(uint64_t n) {
+  g_inline_chunks.fetch_add(n, std::memory_order_relaxed);
+}
+void CountWorkerChunks(uint64_t n) {
+  g_worker_chunks.fetch_add(n, std::memory_order_relaxed);
+}
+}  // namespace internal
+
+}  // namespace scis::runtime

@@ -1,0 +1,60 @@
+// Global execution runtime: a lazily-initialized ThreadPool shared by every
+// parallel kernel in the library, plus the observability counters behind it.
+//
+// Thread count resolution order: SetNumThreads() (the --threads flag) >
+// SCIS_NUM_THREADS env var > std::thread::hardware_concurrency(). With one
+// thread no pool is ever created and every parallel region takes the exact
+// serial code path.
+//
+// Determinism contract: chunk boundaries in ParallelFor / ParallelReduce are
+// a pure function of (begin, end, grain) — never of the thread count — and
+// reductions combine chunk results in ascending chunk order on the calling
+// thread. Results are therefore bit-identical for any thread count,
+// including 1; SSE's n* binary search and the seeded benches rely on this.
+#ifndef SCIS_RUNTIME_RUNTIME_H_
+#define SCIS_RUNTIME_RUNTIME_H_
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/thread_pool.h"
+
+namespace scis::runtime {
+
+// Configured worker count (>= 1). First call resolves env/hardware defaults.
+int NumThreads();
+
+// Reconfigures the global pool; n <= 0 restores the env/hardware default.
+// Must not race with in-flight parallel regions (call between solves, as the
+// bench sweeps do).
+void SetNumThreads(int n);
+
+// The shared pool, or nullptr when NumThreads() == 1. Lazily created.
+ThreadPool* GetPool();
+
+// Point-in-time counters aggregated across pool rebuilds.
+struct Stats {
+  int num_threads = 1;
+  uint64_t parallel_regions = 0;  // regions dispatched to the pool
+  uint64_t serial_regions = 0;    // regions that took the serial path
+  uint64_t worker_chunks = 0;     // chunk tasks executed by pool workers
+  uint64_t inline_chunks = 0;     // chunk tasks executed by the calling thread
+  uint64_t busy_ns = 0;           // cumulative worker time inside chunk tasks
+
+  std::string ToString() const;
+};
+
+Stats GetStats();
+void ResetStats();
+
+namespace internal {
+// Counter bumps used by parallel_for.cc; relaxed atomics underneath.
+void CountSerialRegion();
+void CountParallelRegion();
+void CountInlineChunks(uint64_t n);
+void CountWorkerChunks(uint64_t n);
+}  // namespace internal
+
+}  // namespace scis::runtime
+
+#endif  // SCIS_RUNTIME_RUNTIME_H_

@@ -1,0 +1,66 @@
+#include "runtime/thread_pool.h"
+
+#include <chrono>
+
+#include "common/check.h"
+
+namespace scis::runtime {
+
+namespace {
+// Set for the lifetime of a worker thread; queried by parallel regions to
+// decide between dispatching to the pool and running inline.
+thread_local bool t_on_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  SCIS_CHECK_GT(num_threads, 0);
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SCIS_CHECK_MSG(!stop_, "Submit on a stopping ThreadPool");
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::OnWorkerThread() { return t_on_worker; }
+
+void ThreadPool::WorkerLoop() {
+  t_on_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    task();
+    const auto t1 = std::chrono::steady_clock::now();
+    busy_ns_.fetch_add(
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()),
+        std::memory_order_relaxed);
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace scis::runtime

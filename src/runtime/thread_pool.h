@@ -1,0 +1,61 @@
+// Fixed-size worker pool behind ParallelFor / ParallelReduce. Tasks are
+// type-erased closures drained FIFO from a single mutex-guarded queue; the
+// destructor finishes every queued task before joining, so submitted work is
+// never silently dropped. Lightweight counters (tasks run, busy nanoseconds)
+// feed the runtime::Stats() snapshot printed by bench/micro_kernels.
+#ifndef SCIS_RUNTIME_THREAD_POOL_H_
+#define SCIS_RUNTIME_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace scis::runtime {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+  // Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues fn to run on some worker. fn must not throw; parallel-region
+  // helpers catch chunk exceptions before they reach the worker loop.
+  void Submit(std::function<void()> fn);
+
+  // True when called from one of this pool's worker threads (any pool):
+  // used to run nested parallel regions inline instead of deadlocking on
+  // workers waiting for workers.
+  static bool OnWorkerThread();
+
+  uint64_t tasks_executed() const {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+  uint64_t busy_ns() const { return busy_ns_.load(std::memory_order_relaxed); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+
+  std::atomic<uint64_t> tasks_executed_{0};
+  std::atomic<uint64_t> busy_ns_{0};
+};
+
+}  // namespace scis::runtime
+
+#endif  // SCIS_RUNTIME_THREAD_POOL_H_

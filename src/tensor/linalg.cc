@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "runtime/parallel_for.h"
 #include "tensor/matrix_ops.h"
 
 namespace scis {
@@ -30,24 +31,33 @@ Result<Matrix> CholeskySolve(const Matrix& a, const Matrix& b) {
   SCIS_CHECK_EQ(a.rows(), b.rows());
   SCIS_ASSIGN_OR_RETURN(Matrix l, Cholesky(a));
   const size_t n = a.rows(), m = b.cols();
+  // Right-hand-side columns are independent triangular solves, so both
+  // substitution sweeps parallelize over c with per-column arithmetic
+  // unchanged (the factorization itself stays serial: each L entry depends
+  // on the ones before it).
+  const size_t grain = runtime::GrainForWork(m, n * n);
   // Forward substitution: L z = b.
   Matrix z(n, m);
-  for (size_t c = 0; c < m; ++c) {
-    for (size_t i = 0; i < n; ++i) {
-      double v = b(i, c);
-      for (size_t k = 0; k < i; ++k) v -= l(i, k) * z(k, c);
-      z(i, c) = v / l(i, i);
+  runtime::ParallelFor(0, m, grain, [&](size_t cb, size_t ce) {
+    for (size_t c = cb; c < ce; ++c) {
+      for (size_t i = 0; i < n; ++i) {
+        double v = b(i, c);
+        for (size_t k = 0; k < i; ++k) v -= l(i, k) * z(k, c);
+        z(i, c) = v / l(i, i);
+      }
     }
-  }
+  });
   // Back substitution: Lᵀ x = z.
   Matrix x(n, m);
-  for (size_t c = 0; c < m; ++c) {
-    for (size_t i = n; i-- > 0;) {
-      double v = z(i, c);
-      for (size_t k = i + 1; k < n; ++k) v -= l(k, i) * x(k, c);
-      x(i, c) = v / l(i, i);
+  runtime::ParallelFor(0, m, grain, [&](size_t cb, size_t ce) {
+    for (size_t c = cb; c < ce; ++c) {
+      for (size_t i = n; i-- > 0;) {
+        double v = z(i, c);
+        for (size_t k = i + 1; k < n; ++k) v -= l(k, i) * x(k, c);
+        x(i, c) = v / l(i, i);
+      }
     }
-  }
+  });
   return x;
 }
 

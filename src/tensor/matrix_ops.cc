@@ -3,18 +3,29 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/parallel_for.h"
+
 namespace scis {
 
 namespace {
 constexpr double kLogFloor = 1e-300;
 
+// Elementwise kernels parallelize over disjoint flat ranges (disjoint writes,
+// per-element arithmetic unchanged → bit-identical at any thread count).
+// Scalar reductions (Sum, Dot, norms) stay serial: re-associating them would
+// change results relative to the established seed numerics for no hot-path
+// win — they are memory-bound.
 Matrix BinaryOp(const Matrix& a, const Matrix& b, double (*op)(double, double)) {
   SCIS_CHECK_MSG(a.SameShape(b), "elementwise op shape mismatch");
   Matrix out(a.rows(), a.cols());
   const double* pa = a.data();
   const double* pb = b.data();
   double* po = out.data();
-  for (size_t k = 0; k < a.size(); ++k) po[k] = op(pa[k], pb[k]);
+  runtime::ParallelFor(0, a.size(), runtime::GrainForWork(a.size(), 1),
+                       [&](size_t kb, size_t ke) {
+                         for (size_t k = kb; k < ke; ++k)
+                           po[k] = op(pa[k], pb[k]);
+                       });
   return out;
 }
 }  // namespace
@@ -23,17 +34,22 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   SCIS_CHECK_MSG(a.cols() == b.rows(), "MatMul inner dimension mismatch");
   Matrix out(a.rows(), b.cols());
   const size_t m = a.rows(), k = a.cols(), n = b.cols();
-  // ikj loop order: streams through b and out rows contiguously.
-  for (size_t i = 0; i < m; ++i) {
-    double* orow = out.row_data(i);
-    const double* arow = a.row_data(i);
-    for (size_t p = 0; p < k; ++p) {
-      const double av = arow[p];
-      if (av == 0.0) continue;
-      const double* brow = b.row_data(p);
-      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+  // ikj loop order: streams through b and out rows contiguously. Output rows
+  // are independent, so the i-loop parallelizes with unchanged per-row
+  // arithmetic.
+  runtime::ParallelFor(0, m, runtime::GrainForWork(m, k * n),
+                       [&](size_t ib, size_t ie) {
+    for (size_t i = ib; i < ie; ++i) {
+      double* orow = out.row_data(i);
+      const double* arow = a.row_data(i);
+      for (size_t p = 0; p < k; ++p) {
+        const double av = arow[p];
+        if (av == 0.0) continue;
+        const double* brow = b.row_data(p);
+        for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -41,16 +57,21 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   SCIS_CHECK_MSG(a.rows() == b.rows(), "MatMulTransA dimension mismatch");
   Matrix out(a.cols(), b.cols());
   const size_t m = a.cols(), k = a.rows(), n = b.cols();
-  for (size_t p = 0; p < k; ++p) {
-    const double* arow = a.row_data(p);
-    const double* brow = b.row_data(p);
-    for (size_t i = 0; i < m; ++i) {
-      const double av = arow[i];
-      if (av == 0.0) continue;
+  // i-outer (output rows) so rows parallelize; the p-accumulation order per
+  // output element matches the previous p-outer form, keeping results
+  // bit-identical to the serial kernel.
+  runtime::ParallelFor(0, m, runtime::GrainForWork(m, k * n),
+                       [&](size_t ib, size_t ie) {
+    for (size_t i = ib; i < ie; ++i) {
       double* orow = out.row_data(i);
-      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      for (size_t p = 0; p < k; ++p) {
+        const double av = a(p, i);
+        if (av == 0.0) continue;
+        const double* brow = b.row_data(p);
+        for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -58,23 +79,29 @@ Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   SCIS_CHECK_MSG(a.cols() == b.cols(), "MatMulTransB dimension mismatch");
   Matrix out(a.rows(), b.rows());
   const size_t m = a.rows(), k = a.cols(), n = b.rows();
-  for (size_t i = 0; i < m; ++i) {
-    const double* arow = a.row_data(i);
-    double* orow = out.row_data(i);
-    for (size_t j = 0; j < n; ++j) {
-      const double* brow = b.row_data(j);
-      double acc = 0.0;
-      for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      orow[j] = acc;
+  runtime::ParallelFor(0, m, runtime::GrainForWork(m, k * n),
+                       [&](size_t ib, size_t ie) {
+    for (size_t i = ib; i < ie; ++i) {
+      const double* arow = a.row_data(i);
+      double* orow = out.row_data(i);
+      for (size_t j = 0; j < n; ++j) {
+        const double* brow = b.row_data(j);
+        double acc = 0.0;
+        for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        orow[j] = acc;
+      }
     }
-  }
+  });
   return out;
 }
 
 Matrix Transpose(const Matrix& a) {
   Matrix out(a.cols(), a.rows());
-  for (size_t i = 0; i < a.rows(); ++i)
-    for (size_t j = 0; j < a.cols(); ++j) out(j, i) = a(i, j);
+  runtime::ParallelFor(0, a.rows(), runtime::GrainForWork(a.rows(), a.cols()),
+                       [&](size_t ib, size_t ie) {
+    for (size_t i = ib; i < ie; ++i)
+      for (size_t j = 0; j < a.cols(); ++j) out(j, i) = a(i, j);
+  });
   return out;
 }
 
@@ -95,31 +122,47 @@ void AddInPlace(Matrix& a, const Matrix& b) {
   SCIS_CHECK(a.SameShape(b));
   double* pa = a.data();
   const double* pb = b.data();
-  for (size_t k = 0; k < a.size(); ++k) pa[k] += pb[k];
+  runtime::ParallelFor(0, a.size(), runtime::GrainForWork(a.size(), 1),
+                       [&](size_t kb, size_t ke) {
+                         for (size_t k = kb; k < ke; ++k) pa[k] += pb[k];
+                       });
 }
 void SubInPlace(Matrix& a, const Matrix& b) {
   SCIS_CHECK(a.SameShape(b));
   double* pa = a.data();
   const double* pb = b.data();
-  for (size_t k = 0; k < a.size(); ++k) pa[k] -= pb[k];
+  runtime::ParallelFor(0, a.size(), runtime::GrainForWork(a.size(), 1),
+                       [&](size_t kb, size_t ke) {
+                         for (size_t k = kb; k < ke; ++k) pa[k] -= pb[k];
+                       });
 }
 void MulInPlace(Matrix& a, const Matrix& b) {
   SCIS_CHECK(a.SameShape(b));
   double* pa = a.data();
   const double* pb = b.data();
-  for (size_t k = 0; k < a.size(); ++k) pa[k] *= pb[k];
+  runtime::ParallelFor(0, a.size(), runtime::GrainForWork(a.size(), 1),
+                       [&](size_t kb, size_t ke) {
+                         for (size_t k = kb; k < ke; ++k) pa[k] *= pb[k];
+                       });
 }
 void AxpyInPlace(Matrix& a, double alpha, const Matrix& b) {
   SCIS_CHECK(a.SameShape(b));
   double* pa = a.data();
   const double* pb = b.data();
-  for (size_t k = 0; k < a.size(); ++k) pa[k] += alpha * pb[k];
+  runtime::ParallelFor(0, a.size(), runtime::GrainForWork(a.size(), 1),
+                       [&](size_t kb, size_t ke) {
+                         for (size_t k = kb; k < ke; ++k)
+                           pa[k] += alpha * pb[k];
+                       });
 }
 
 Matrix AddScalar(const Matrix& a, double s) {
   Matrix out = a;
   double* p = out.data();
-  for (size_t k = 0; k < out.size(); ++k) p[k] += s;
+  runtime::ParallelFor(0, out.size(), runtime::GrainForWork(out.size(), 1),
+                       [&](size_t kb, size_t ke) {
+                         for (size_t k = kb; k < ke; ++k) p[k] += s;
+                       });
   return out;
 }
 Matrix MulScalar(const Matrix& a, double s) {
@@ -129,39 +172,51 @@ Matrix MulScalar(const Matrix& a, double s) {
 }
 void MulScalarInPlace(Matrix& a, double s) {
   double* p = a.data();
-  for (size_t k = 0; k < a.size(); ++k) p[k] *= s;
+  runtime::ParallelFor(0, a.size(), runtime::GrainForWork(a.size(), 1),
+                       [&](size_t kb, size_t ke) {
+                         for (size_t k = kb; k < ke; ++k) p[k] *= s;
+                       });
 }
 
 Matrix AddRowBroadcast(const Matrix& a, const Matrix& row) {
   SCIS_CHECK(row.rows() == 1 && row.cols() == a.cols());
   Matrix out = a;
-  for (size_t i = 0; i < a.rows(); ++i) {
-    double* p = out.row_data(i);
-    const double* r = row.data();
-    for (size_t j = 0; j < a.cols(); ++j) p[j] += r[j];
-  }
+  runtime::ParallelFor(0, a.rows(), runtime::GrainForWork(a.rows(), a.cols()),
+                       [&](size_t ib, size_t ie) {
+    for (size_t i = ib; i < ie; ++i) {
+      double* p = out.row_data(i);
+      const double* r = row.data();
+      for (size_t j = 0; j < a.cols(); ++j) p[j] += r[j];
+    }
+  });
   return out;
 }
 
 Matrix MulRowBroadcast(const Matrix& a, const Matrix& row) {
   SCIS_CHECK(row.rows() == 1 && row.cols() == a.cols());
   Matrix out = a;
-  for (size_t i = 0; i < a.rows(); ++i) {
-    double* p = out.row_data(i);
-    const double* r = row.data();
-    for (size_t j = 0; j < a.cols(); ++j) p[j] *= r[j];
-  }
+  runtime::ParallelFor(0, a.rows(), runtime::GrainForWork(a.rows(), a.cols()),
+                       [&](size_t ib, size_t ie) {
+    for (size_t i = ib; i < ie; ++i) {
+      double* p = out.row_data(i);
+      const double* r = row.data();
+      for (size_t j = 0; j < a.cols(); ++j) p[j] *= r[j];
+    }
+  });
   return out;
 }
 
 Matrix AddColBroadcast(const Matrix& a, const Matrix& col) {
   SCIS_CHECK(col.cols() == 1 && col.rows() == a.rows());
   Matrix out = a;
-  for (size_t i = 0; i < a.rows(); ++i) {
-    double* p = out.row_data(i);
-    const double c = col(i, 0);
-    for (size_t j = 0; j < a.cols(); ++j) p[j] += c;
-  }
+  runtime::ParallelFor(0, a.rows(), runtime::GrainForWork(a.rows(), a.cols()),
+                       [&](size_t ib, size_t ie) {
+    for (size_t i = ib; i < ie; ++i) {
+      double* p = out.row_data(i);
+      const double c = col(i, 0);
+      for (size_t j = 0; j < a.cols(); ++j) p[j] += c;
+    }
+  });
   return out;
 }
 
@@ -169,7 +224,12 @@ Matrix Map(const Matrix& a, const std::function<double(double)>& f) {
   Matrix out(a.rows(), a.cols());
   const double* pa = a.data();
   double* po = out.data();
-  for (size_t k = 0; k < a.size(); ++k) po[k] = f(pa[k]);
+  // Transcendental maps (exp, log, sigmoid) dominate NN activations; assume
+  // a few ops per element so mid-sized batches still fan out.
+  runtime::ParallelFor(0, a.size(), runtime::GrainForWork(a.size(), 8),
+                       [&](size_t kb, size_t ke) {
+                         for (size_t k = kb; k < ke; ++k) po[k] = f(pa[k]);
+                       });
   return out;
 }
 
@@ -240,12 +300,15 @@ double Dot(const Matrix& a, const Matrix& b) {
 
 Matrix RowSum(const Matrix& a) {
   Matrix out(a.rows(), 1);
-  for (size_t i = 0; i < a.rows(); ++i) {
-    const double* p = a.row_data(i);
-    double acc = 0.0;
-    for (size_t j = 0; j < a.cols(); ++j) acc += p[j];
-    out(i, 0) = acc;
-  }
+  runtime::ParallelFor(0, a.rows(), runtime::GrainForWork(a.rows(), a.cols()),
+                       [&](size_t ib, size_t ie) {
+    for (size_t i = ib; i < ie; ++i) {
+      const double* p = a.row_data(i);
+      double acc = 0.0;
+      for (size_t j = 0; j < a.cols(); ++j) acc += p[j];
+      out(i, 0) = acc;
+    }
+  });
   return out;
 }
 Matrix ColSum(const Matrix& a) {
@@ -293,21 +356,30 @@ Matrix PairwiseSquaredDistances(const Matrix& a, const Matrix& b) {
   SCIS_CHECK_EQ(a.cols(), b.cols());
   const size_t n = a.rows(), m = b.rows(), d = a.cols();
   std::vector<double> a2(n, 0.0), b2(m, 0.0);
-  for (size_t i = 0; i < n; ++i) {
-    const double* p = a.row_data(i);
-    for (size_t j = 0; j < d; ++j) a2[i] += p[j] * p[j];
-  }
-  for (size_t i = 0; i < m; ++i) {
-    const double* p = b.row_data(i);
-    for (size_t j = 0; j < d; ++j) b2[i] += p[j] * p[j];
-  }
-  Matrix out = MatMulTransB(a, b);
-  for (size_t i = 0; i < n; ++i) {
-    double* p = out.row_data(i);
-    for (size_t j = 0; j < m; ++j) {
-      p[j] = std::max(a2[i] + b2[j] - 2.0 * p[j], 0.0);
+  runtime::ParallelFor(0, n, runtime::GrainForWork(n, d),
+                       [&](size_t ib, size_t ie) {
+    for (size_t i = ib; i < ie; ++i) {
+      const double* p = a.row_data(i);
+      for (size_t j = 0; j < d; ++j) a2[i] += p[j] * p[j];
     }
-  }
+  });
+  runtime::ParallelFor(0, m, runtime::GrainForWork(m, d),
+                       [&](size_t ib, size_t ie) {
+    for (size_t i = ib; i < ie; ++i) {
+      const double* p = b.row_data(i);
+      for (size_t j = 0; j < d; ++j) b2[i] += p[j] * p[j];
+    }
+  });
+  Matrix out = MatMulTransB(a, b);
+  runtime::ParallelFor(0, n, runtime::GrainForWork(n, m),
+                       [&](size_t ib, size_t ie) {
+    for (size_t i = ib; i < ie; ++i) {
+      double* p = out.row_data(i);
+      for (size_t j = 0; j < m; ++j) {
+        p[j] = std::max(a2[i] + b2[j] - 2.0 * p[j], 0.0);
+      }
+    }
+  });
   return out;
 }
 
