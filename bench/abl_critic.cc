@@ -14,7 +14,9 @@ int main(int argc, char** argv) {
   long long epochs = 20;
   long long threads;
   FlagParser flags;
+  ObsSession obs("abl_critic");
   AddThreadsFlag(flags, &threads);
+  obs.AddFlags(flags);
   flags.AddDouble("scale", &scale, "row-count multiplier vs the paper");
   flags.AddInt("epochs", &epochs, "DIM training epochs");
   if (Status st = flags.Parse(argc, argv); !st.ok()) {
@@ -22,6 +24,11 @@ int main(int argc, char** argv) {
     return st.code() == StatusCode::kOutOfRange ? 0 : 1;
   }
   ApplyThreadsFlag(threads);
+  obs.Start();
+  obs.report().AddConfig("scale", scale);
+  obs.report().AddConfig("epochs", static_cast<int64_t>(epochs));
+  obs.report().AddConfig("threads",
+                         static_cast<int64_t>(runtime::NumThreads()));
 
   SyntheticSpec spec = TrialSpec(scale);
   PreparedData prep = PrepareData(spec, 0.2, 0.0, 7);
@@ -52,5 +59,5 @@ int main(int argc, char** argv) {
       "The identity critic trains the pure Eq.-3 objective and is the\n"
       "library default; the learned critic pays two extra Sinkhorn solves\n"
       "per step for the adversarial game of §IV-B.\n");
-  return 0;
+  return obs.Finish();
 }

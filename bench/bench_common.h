@@ -11,12 +11,16 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "core/scis.h"
 #include "eval/experiment.h"
 #include "eval/table.h"
 #include "models/gain_imputer.h"
 #include "models/ginn_imputer.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
 #include "runtime/runtime.h"
 
 namespace scis::bench {
@@ -34,6 +38,78 @@ inline void AddThreadsFlag(FlagParser& flags, long long* threads) {
 inline void ApplyThreadsFlag(long long threads) {
   if (threads > 0) runtime::SetNumThreads(static_cast<int>(threads));
 }
+
+// Observability for a bench run: --trace-out / --report-out flags, metric
+// and runtime-counter scoping, and the end-of-run file writes. Usage:
+//
+//   ObsSession obs("table3_small");
+//   obs.AddFlags(flags);
+//   ... flags.Parse(...) ...
+//   obs.Start();                       // after ApplyThreadsFlag
+//   obs.report().AddConfig("scale", scale);
+//   ... run the bench ...
+//   return obs.Finish();               // writes the requested files
+class ObsSession {
+ public:
+  explicit ObsSession(const std::string& tool) : report_(tool) {}
+
+  void AddFlags(FlagParser& flags) {
+    flags.AddString("trace-out", &trace_out_,
+                    "write a chrome://tracing JSON trace of this run");
+    flags.AddString("report-out", &report_out_,
+                    "write a machine-readable JSON run report");
+  }
+
+  // Arms span recording (only when a trace was requested) and zeroes the
+  // metric/runtime counters so the report covers exactly this run. Call
+  // once, after FlagParser::Parse.
+  void Start() {
+    if (!trace_out_.empty()) obs::SetTraceEnabled(true);
+    obs::Registry::Global().Reset();
+    runtime::ResetStats();
+    watch_.Restart();
+  }
+
+  obs::RunReport& report() { return report_; }
+
+  // Stamps the total wall-clock phase and the runtime pool stats, then
+  // writes the requested outputs. Returns a main()-style exit code: 0, or
+  // 1 when an output file could not be written.
+  int Finish() {
+    report_.AddPhase("total", watch_.ElapsedSeconds());
+    const runtime::Stats rs = runtime::GetStats();
+    report_.AddSectionValue("runtime", "threads",
+                            static_cast<uint64_t>(rs.num_threads));
+    report_.AddSectionValue("runtime", "parallel_regions",
+                            rs.parallel_regions);
+    report_.AddSectionValue("runtime", "serial_regions", rs.serial_regions);
+    report_.AddSectionValue("runtime", "worker_chunks", rs.worker_chunks);
+    report_.AddSectionValue("runtime", "inline_chunks", rs.inline_chunks);
+    report_.AddSectionValue("runtime", "busy_ns", rs.busy_ns);
+    report_.AddSectionValue("trace", "spans", obs::TraceSpanCount());
+    report_.AddSectionValue("trace", "dropped", obs::TraceDroppedCount());
+    int rc = 0;
+    if (!report_out_.empty()) {
+      if (Status st = report_.Write(report_out_); !st.ok()) {
+        std::printf("report-out: %s\n", st.ToString().c_str());
+        rc = 1;
+      }
+    }
+    if (!trace_out_.empty()) {
+      if (Status st = obs::WriteTrace(trace_out_); !st.ok()) {
+        std::printf("trace-out: %s\n", st.ToString().c_str());
+        rc = 1;
+      }
+    }
+    return rc;
+  }
+
+ private:
+  obs::RunReport report_;
+  std::string trace_out_;
+  std::string report_out_;
+  Stopwatch watch_;
+};
 
 // The paper's initial sample sizes (§VI), keyed by dataset name.
 inline size_t PaperInitialSize(const std::string& dataset) {

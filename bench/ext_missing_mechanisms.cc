@@ -52,7 +52,9 @@ int main(int argc, char** argv) {
   double rate = 0.3;
   long long threads;
   FlagParser flags;
+  ObsSession obs("ext_missing_mechanisms");
   AddThreadsFlag(flags, &threads);
+  obs.AddFlags(flags);
   flags.AddDouble("scale", &scale, "row-count multiplier vs the paper");
   flags.AddInt("epochs", &epochs, "deep-model training epochs");
   flags.AddDouble("rate", &rate, "extra missingness rate injected");
@@ -61,6 +63,12 @@ int main(int argc, char** argv) {
     return st.code() == StatusCode::kOutOfRange ? 0 : 1;
   }
   ApplyThreadsFlag(threads);
+  obs.Start();
+  obs.report().AddConfig("scale", scale);
+  obs.report().AddConfig("epochs", static_cast<int64_t>(epochs));
+  obs.report().AddConfig("rate", rate);
+  obs.report().AddConfig("threads",
+                         static_cast<int64_t>(runtime::NumThreads()));
 
   SyntheticSpec spec = TrialSpec(scale);
   std::printf("=== Extension — missing mechanisms (%s, extra rate %.0f%%) "
@@ -86,5 +94,5 @@ int main(int argc, char** argv) {
       "MCAR is the paper's operating assumption; MAR/MNAR quantify the\n"
       "§VII open problem (imputation error grows as the mechanism departs\n"
       "from MCAR, and the Theorem-1 guarantee is no longer exact).\n");
-  return 0;
+  return obs.Finish();
 }

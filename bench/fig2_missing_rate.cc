@@ -13,7 +13,9 @@ int main(int argc, char** argv) {
   std::string dataset = "Trial";
   long long threads;
   FlagParser flags;
+  ObsSession obs("fig2_missing_rate");
   AddThreadsFlag(flags, &threads);
+  obs.AddFlags(flags);
   flags.AddDouble("scale", &scale, "row-count multiplier vs the paper");
   flags.AddInt("epochs", &epochs, "deep-model training epochs");
   flags.AddInt("repeats", &repeats, "random divisions averaged");
@@ -23,6 +25,13 @@ int main(int argc, char** argv) {
     return st.code() == StatusCode::kOutOfRange ? 0 : 1;
   }
   ApplyThreadsFlag(threads);
+  obs.Start();
+  obs.report().AddConfig("scale", scale);
+  obs.report().AddConfig("epochs", static_cast<int64_t>(epochs));
+  obs.report().AddConfig("repeats", static_cast<int64_t>(repeats));
+  obs.report().AddConfig("dataset", dataset);
+  obs.report().AddConfig("threads",
+                         static_cast<int64_t>(runtime::NumThreads()));
 
   SyntheticSpec spec;
   for (const SyntheticSpec& s : AllCovidSpecs(scale)) {
@@ -59,5 +68,5 @@ int main(int argc, char** argv) {
                   FormatSeconds(sc.sse_seconds.mean)});
   }
   table.Print();
-  return 0;
+  return obs.Finish();
 }

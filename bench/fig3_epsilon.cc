@@ -15,7 +15,9 @@ int main(int argc, char** argv) {
   std::string dataset = "Trial";
   long long threads;
   FlagParser flags;
+  ObsSession obs("fig3_epsilon");
   AddThreadsFlag(flags, &threads);
+  obs.AddFlags(flags);
   flags.AddDouble("scale", &scale, "row-count multiplier vs the paper");
   flags.AddInt("epochs", &epochs, "deep-model training epochs");
   flags.AddString("dataset", &dataset, "which Table-II dataset shape");
@@ -24,6 +26,12 @@ int main(int argc, char** argv) {
     return st.code() == StatusCode::kOutOfRange ? 0 : 1;
   }
   ApplyThreadsFlag(threads);
+  obs.Start();
+  obs.report().AddConfig("scale", scale);
+  obs.report().AddConfig("epochs", static_cast<int64_t>(epochs));
+  obs.report().AddConfig("dataset", dataset);
+  obs.report().AddConfig("threads",
+                         static_cast<int64_t>(runtime::NumThreads()));
 
   SyntheticSpec spec;
   for (const SyntheticSpec& s : AllCovidSpecs(scale)) {
@@ -72,5 +80,5 @@ int main(int argc, char** argv) {
                   FormatSeconds(r.seconds)});
   }
   table.Print();
-  return 0;
+  return obs.Finish();
 }

@@ -33,7 +33,9 @@ int main(int argc, char** argv) {
   long long n = 64;
   long long threads;
   FlagParser flags;
+  ObsSession obs("fig_example1_divergence");
   AddThreadsFlag(flags, &threads);
+  obs.AddFlags(flags);
   flags.AddDouble("q", &q, "mask observation probability (Bernoulli)");
   flags.AddInt("n", &n, "empirical sample count");
   if (Status st = flags.Parse(argc, argv); !st.ok()) {
@@ -41,6 +43,11 @@ int main(int argc, char** argv) {
     return st.code() == StatusCode::kOutOfRange ? 0 : 1;
   }
   ApplyThreadsFlag(threads);
+  obs.Start();
+  obs.report().AddConfig("q", q);
+  obs.report().AddConfig("n", static_cast<int64_t>(n));
+  obs.report().AddConfig("threads",
+                         static_cast<int64_t>(runtime::NumThreads()));
 
   SinkhornOptions opts;
   opts.lambda = 0.01;
@@ -68,5 +75,5 @@ int main(int argc, char** argv) {
   std::printf(
       "JS is flat away from 0 (vanishing gradient); the MS divergence is\n"
       "smooth with gradient ~ 4*q*theta, matching the Example-1 algebra.\n");
-  return 0;
+  return obs.Finish();
 }

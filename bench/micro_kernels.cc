@@ -8,6 +8,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
 
 #include "core/dim.h"
 #include "models/gain_imputer.h"
@@ -254,21 +259,60 @@ BENCHMARK(BM_MatMulThreadSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 }  // namespace scis
 
 int main(int argc, char** argv) {
-  // --threads=<n> is ours (sets the default pool size for the non-sweep
-  // benches); strip it before google-benchmark sees the argv.
+  // --threads=<n>, --trace-out=<p> and --report-out=<p> are ours; strip
+  // them before google-benchmark sees the argv.
+  std::string trace_out, report_out;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       scis::runtime::SetNumThreads(std::atoi(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--report-out=", 13) == 0) {
+      report_out = argv[i] + 13;
     } else {
       argv[kept++] = argv[i];
     }
   }
   argc = kept;
+  if (!trace_out.empty()) {
+    scis::obs::ClearTrace();
+    scis::obs::SetTraceEnabled(true);
+    scis::obs::SetCurrentThreadName("main");
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  std::printf("%s\n", scis::runtime::GetStats().ToString().c_str());
-  return 0;
+  const scis::runtime::Stats stats = scis::runtime::GetStats();
+  std::printf("%s\n", stats.ToString().c_str());
+  int rc = 0;
+  if (!trace_out.empty()) {
+    scis::obs::SetTraceEnabled(false);
+    if (scis::Status st = scis::obs::WriteTrace(trace_out); !st.ok()) {
+      std::printf("trace write failed: %s\n", st.ToString().c_str());
+      rc = 1;
+    } else {
+      std::printf("trace written to %s (%llu spans)\n", trace_out.c_str(),
+                  static_cast<unsigned long long>(scis::obs::TraceSpanCount()));
+    }
+  }
+  if (!report_out.empty()) {
+    scis::obs::RunReport report("micro_kernels");
+    report.AddConfig("threads",
+                     static_cast<int64_t>(scis::runtime::NumThreads()));
+    report.AddSectionValue("runtime", "parallel_regions",
+                           stats.parallel_regions);
+    report.AddSectionValue("runtime", "serial_regions", stats.serial_regions);
+    report.AddSectionValue("runtime", "worker_chunks", stats.worker_chunks);
+    report.AddSectionValue("runtime", "inline_chunks", stats.inline_chunks);
+    report.AddSectionValue("runtime", "busy_ns", stats.busy_ns);
+    if (scis::Status st = report.Write(report_out); !st.ok()) {
+      std::printf("report write failed: %s\n", st.ToString().c_str());
+      rc = 1;
+    } else {
+      std::printf("run report written to %s\n", report_out.c_str());
+    }
+  }
+  return rc;
 }

@@ -74,7 +74,9 @@ int main(int argc, char** argv) {
   long long repeats = 1;
   long long threads;
   FlagParser flags;
+  ObsSession obs("table3_small");
   AddThreadsFlag(flags, &threads);
+  obs.AddFlags(flags);
   flags.AddDouble("scale", &scale, "row-count multiplier vs the paper");
   flags.AddInt("epochs", &epochs, "deep-model training epochs");
   flags.AddInt("repeats", &repeats, "random divisions averaged (paper: 5)");
@@ -83,6 +85,12 @@ int main(int argc, char** argv) {
     return st.code() == StatusCode::kOutOfRange ? 0 : 1;
   }
   ApplyThreadsFlag(threads);
+  obs.Start();
+  obs.report().AddConfig("scale", scale);
+  obs.report().AddConfig("epochs", static_cast<int64_t>(epochs));
+  obs.report().AddConfig("repeats", static_cast<int64_t>(repeats));
+  obs.report().AddConfig("threads",
+                         static_cast<int64_t>(runtime::NumThreads()));
 
   // Paper availability pattern (Table III): "-" entries are methods that
   // exceeded 10^5 s on that dataset.
@@ -98,5 +106,5 @@ int main(int argc, char** argv) {
   for (const DatasetPlan& plan : plans) {
     RunDataset(plan, static_cast<int>(epochs), static_cast<int>(repeats));
   }
-  return 0;
+  return obs.Finish();
 }

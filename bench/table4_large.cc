@@ -68,7 +68,9 @@ int main(int argc, char** argv) {
   long long repeats = 1;
   long long threads;
   FlagParser flags;
+  ObsSession obs("table4_large");
   AddThreadsFlag(flags, &threads);
+  obs.AddFlags(flags);
   flags.AddDouble("scale", &scale,
                   "multiplier on the CPU-sized default rows");
   flags.AddInt("epochs", &epochs, "deep-model training epochs");
@@ -78,6 +80,12 @@ int main(int argc, char** argv) {
     return st.code() == StatusCode::kOutOfRange ? 0 : 1;
   }
   ApplyThreadsFlag(threads);
+  obs.Start();
+  obs.report().AddConfig("scale", scale);
+  obs.report().AddConfig("epochs", static_cast<int64_t>(epochs));
+  obs.report().AddConfig("repeats", static_cast<int64_t>(repeats));
+  obs.report().AddConfig("threads",
+                         static_cast<int64_t>(runtime::NumThreads()));
 
   // CPU-sized fractions of the paper's row counts (documented in
   // EXPERIMENTS.md): Search 948,762 -> ~19k (cols 424 -> 64),
@@ -89,5 +97,5 @@ int main(int argc, char** argv) {
   RunDataset(SurveilSpec(0.0025 * scale), /*hivae=*/true,
              /*scis_ginn=*/false, static_cast<int>(epochs),
              static_cast<int>(repeats));
-  return 0;
+  return obs.Finish();
 }

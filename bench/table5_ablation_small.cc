@@ -61,7 +61,9 @@ int main(int argc, char** argv) {
   long long repeats = 1;
   long long threads;
   FlagParser flags;
+  ObsSession obs("table5_ablation_small");
   AddThreadsFlag(flags, &threads);
+  obs.AddFlags(flags);
   flags.AddDouble("scale", &scale, "row-count multiplier vs the paper");
   flags.AddInt("epochs", &epochs, "deep-model training epochs");
   flags.AddInt("repeats", &repeats, "random divisions averaged");
@@ -70,11 +72,17 @@ int main(int argc, char** argv) {
     return st.code() == StatusCode::kOutOfRange ? 0 : 1;
   }
   ApplyThreadsFlag(threads);
+  obs.Start();
+  obs.report().AddConfig("scale", scale);
+  obs.report().AddConfig("epochs", static_cast<int64_t>(epochs));
+  obs.report().AddConfig("repeats", static_cast<int64_t>(repeats));
+  obs.report().AddConfig("threads",
+                         static_cast<int64_t>(runtime::NumThreads()));
   RunDataset(TrialSpec(scale), static_cast<int>(epochs),
              static_cast<int>(repeats), /*run_dim_full=*/true);
   RunDataset(EmergencySpec(scale), static_cast<int>(epochs),
              static_cast<int>(repeats), /*run_dim_full=*/true);
   RunDataset(ResponseSpec(scale * 0.1), static_cast<int>(epochs),
              static_cast<int>(repeats), /*run_dim_full=*/true);
-  return 0;
+  return obs.Finish();
 }

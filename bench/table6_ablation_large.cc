@@ -60,7 +60,9 @@ int main(int argc, char** argv) {
   bool run_dim_full = false;
   long long threads;
   FlagParser flags;
+  ObsSession obs("table6_ablation_large");
   AddThreadsFlag(flags, &threads);
+  obs.AddFlags(flags);
   flags.AddDouble("scale", &scale,
                   "multiplier on the CPU-sized default rows");
   flags.AddInt("epochs", &epochs, "deep-model training epochs");
@@ -72,11 +74,18 @@ int main(int argc, char** argv) {
     return st.code() == StatusCode::kOutOfRange ? 0 : 1;
   }
   ApplyThreadsFlag(threads);
+  obs.Start();
+  obs.report().AddConfig("scale", scale);
+  obs.report().AddConfig("epochs", static_cast<int64_t>(epochs));
+  obs.report().AddConfig("repeats", static_cast<int64_t>(repeats));
+  obs.report().AddConfig("run_dim_full", run_dim_full);
+  obs.report().AddConfig("threads",
+                         static_cast<int64_t>(runtime::NumThreads()));
   RunDataset(SearchSpec(0.02 * scale), static_cast<int>(epochs),
              static_cast<int>(repeats), run_dim_full);
   RunDataset(WeatherSpec(0.008 * scale), static_cast<int>(epochs),
              static_cast<int>(repeats), run_dim_full);
   RunDataset(SurveilSpec(0.0025 * scale), static_cast<int>(epochs),
              static_cast<int>(repeats), run_dim_full);
-  return 0;
+  return obs.Finish();
 }

@@ -59,7 +59,9 @@ int main(int argc, char** argv) {
   long long epochs = 15;
   long long threads;
   FlagParser flags;
+  ObsSession obs("table7_downstream");
   AddThreadsFlag(flags, &threads);
+  obs.AddFlags(flags);
   flags.AddDouble("scale", &scale,
                   "multiplier on the CPU-sized default rows");
   flags.AddInt("epochs", &epochs, "imputer training epochs");
@@ -68,6 +70,11 @@ int main(int argc, char** argv) {
     return st.code() == StatusCode::kOutOfRange ? 0 : 1;
   }
   ApplyThreadsFlag(threads);
+  obs.Start();
+  obs.report().AddConfig("scale", scale);
+  obs.report().AddConfig("epochs", static_cast<int64_t>(epochs));
+  obs.report().AddConfig("threads",
+                         static_cast<int64_t>(runtime::NumThreads()));
 
   std::printf("=== Table VII — post-imputation prediction ===\n");
   TablePrinter table({"Metric", "Dataset", "GAIN", "SCIS-GAIN"});
@@ -81,5 +88,5 @@ int main(int argc, char** argv) {
     table.AddRow({row.metric, row.dataset, row.gain, row.scis});
   }
   table.Print();
-  return 0;
+  return obs.Finish();
 }

@@ -1,6 +1,7 @@
 #include "common/string_util.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -51,6 +52,11 @@ Result<double> ParseDouble(std::string_view s) {
   double v = std::strtod(buf.c_str(), &end);
   if (end != buf.c_str() + buf.size()) {
     return Status::InvalidArgument("not a number: '" + buf + "'");
+  }
+  // strtod accepts "inf"/"infinity" and overflows (1e999) to ±HUGE_VAL;
+  // none of those is a representable dataset value.
+  if (!std::isfinite(v)) {
+    return Status::InvalidArgument("non-finite value: '" + buf + "'");
   }
   return v;
 }

@@ -1,9 +1,42 @@
 #include "core/dim.h"
 
+#include "common/stopwatch.h"
 #include "data/sampler.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ot/ms_loss.h"
 
 namespace scis {
+
+namespace {
+
+// Cached handles; updates are relaxed atomics (see obs/metrics.h).
+struct DimMetrics {
+  obs::Counter* epochs;
+  obs::Counter* steps;
+  obs::Counter* critic_steps;
+  obs::Gauge* epoch_loss;
+  obs::Gauge* epoch_divergence;
+  obs::Histogram* batch_ms;
+
+  static const DimMetrics& Get() {
+    static const DimMetrics m = [] {
+      obs::Registry& r = obs::Registry::Global();
+      return DimMetrics{
+          r.GetCounter("dim.epochs"),
+          r.GetCounter("dim.steps"),
+          r.GetCounter("dim.critic_steps"),
+          r.GetGauge("dim.epoch_loss"),
+          r.GetGauge("dim.epoch_divergence"),
+          r.GetHistogram("dim.batch_ms",
+                         {0.5, 1, 2, 5, 10, 20, 50, 100, 250, 1000}),
+      };
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 DimTrainer::DimTrainer(DimOptions opts)
     : opts_(opts),
@@ -22,6 +55,8 @@ void DimTrainer::EnsureCritic(size_t d, Rng& rng) {
 }
 
 Status DimTrainer::Train(GenerativeImputer& model, const Dataset& data) {
+  SCIS_TRACE_SPAN("dim.train");
+  const DimMetrics& metrics = DimMetrics::Get();
   if (data.num_rows() < 2) {
     return Status::InvalidArgument("DIM needs at least two rows");
   }
@@ -35,10 +70,13 @@ Status DimTrainer::Train(GenerativeImputer& model, const Dataset& data) {
   MiniBatcher batcher(data.num_rows(), opts_.batch_size, rng_);
   std::vector<size_t> batch;
   for (int epoch = 0; epoch < opts_.epochs; ++epoch) {
+    SCIS_TRACE_SPAN("dim.epoch");
     batcher.Reset(rng_);
     double epoch_loss = 0.0, epoch_div = 0.0;
     size_t batches = 0;
     while (batcher.Next(&batch)) {
+      SCIS_TRACE_SPAN("dim.batch");
+      Stopwatch batch_watch;
       Matrix x = data.values().GatherRows(batch);
       Matrix m = data.mask().GatherRows(batch);
       Matrix xm = Mul(x, m);  // masked data rows (missing already 0)
@@ -46,6 +84,8 @@ Status DimTrainer::Train(GenerativeImputer& model, const Dataset& data) {
       // --- critic ascent: maximize the embedded Sinkhorn divergence ---
       if (opts_.use_critic) {
         for (int c = 0; c < opts_.critic_steps; ++c) {
+          SCIS_TRACE_SPAN("dim.critic_step");
+          metrics.critic_steps->Add(1);
           Tape tape;
           Var xbar = model.ReconstructOnTape(tape, x, m, /*train=*/true);
           Var masked_fake = Mul(xbar, tape.Constant(m));
@@ -88,10 +128,15 @@ Status DimTrainer::Train(GenerativeImputer& model, const Dataset& data) {
         ++batches;
         ++stats_.steps;
       }
+      metrics.steps->Add(1);
+      metrics.batch_ms->Observe(batch_watch.ElapsedMillis());
     }
+    metrics.epochs->Add(1);
     if (batches > 0) {
       stats_.final_loss = epoch_loss / static_cast<double>(batches);
       stats_.final_divergence = epoch_div / static_cast<double>(batches);
+      metrics.epoch_loss->Set(stats_.final_loss);
+      metrics.epoch_divergence->Set(stats_.final_divergence);
     }
   }
   return Status::OK();

@@ -4,12 +4,14 @@
 
 #include "common/stopwatch.h"
 #include "data/sampler.h"
+#include "obs/trace.h"
 
 namespace scis {
 
 Scis::Scis(ScisOptions opts) : opts_(opts) {}
 
 Result<Matrix> Scis::Run(GenerativeImputer& model, const Dataset& data) {
+  SCIS_TRACE_SPAN("scis.run");
   const size_t n = data.num_rows();
   if (n < 4) return Status::InvalidArgument("dataset too small for SCIS");
   const size_t nv = std::min(opts_.validation_size, n / 4);
@@ -60,6 +62,7 @@ Result<Matrix> Scis::Run(GenerativeImputer& model, const Dataset& data) {
   }
 
   // Lines 6-7: impute the whole dataset with the optimized model.
+  SCIS_TRACE_SPAN("scis.impute");
   Matrix imputed = model.Impute(data);
   report_.total_seconds = total.ElapsedSeconds();
   return imputed;

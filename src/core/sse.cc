@@ -4,10 +4,37 @@
 
 #include "common/stopwatch.h"
 #include "data/sampler.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ot/ms_loss.h"
 #include "tensor/linalg.h"
 
 namespace scis {
+
+namespace {
+
+// Cached handles; updates are relaxed atomics (see obs/metrics.h).
+struct SseMetrics {
+  obs::Counter* probes;       // ProbabilityAt evaluations
+  obs::Counter* model_evals;  // k parameter-pair distance evaluations
+  obs::Gauge* candidate_n;    // n probed most recently
+  obs::Gauge* confidence;     // empirical P(D <= eps) at that n
+  obs::Gauge* n_star;         // final binary-search answer
+
+  static const SseMetrics& Get() {
+    static const SseMetrics m = [] {
+      obs::Registry& r = obs::Registry::Global();
+      return SseMetrics{
+          r.GetCounter("sse.probes"), r.GetCounter("sse.model_evals"),
+          r.GetGauge("sse.candidate_n"), r.GetGauge("sse.confidence"),
+          r.GetGauge("sse.n_star"),
+      };
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 double SseZeta(double lambda, size_t d) {
   SCIS_CHECK_GT(lambda, 0.0);
@@ -30,6 +57,7 @@ SseEstimator::SseEstimator(SseOptions opts) : opts_(opts), rng_(opts.seed) {}
 
 Status SseEstimator::Prepare(GenerativeImputer& model,
                              const Dataset& curvature_data) {
+  SCIS_TRACE_SPAN("sse.prepare");
   ParamStore& store = model.generator_params();
   theta0_ = store.ToFlat();
   const size_t p = theta0_.size();
@@ -157,6 +185,8 @@ double SseEstimator::OutputDistance(GenerativeImputer& model,
 double SseEstimator::ProbabilityAt(GenerativeImputer& model,
                                    const Dataset& validation, size_t n0,
                                    size_t n, size_t data_size) {
+  SCIS_TRACE_SPAN("sse.probe");
+  const SseMetrics& metrics = SseMetrics::Get();
   SCIS_CHECK_MSG(prepared_, "Prepare() must run before ProbabilityAt()");
   SCIS_CHECK(n0 <= n && n <= data_size);
   const size_t p = theta0_.size();
@@ -199,7 +229,12 @@ double SseEstimator::ProbabilityAt(GenerativeImputer& model,
   }
   // Restore θ0.
   model.generator_params().FromFlat(theta0_);
-  return static_cast<double>(pass) / static_cast<double>(opts_.k);
+  const double prob = static_cast<double>(pass) / static_cast<double>(opts_.k);
+  metrics.probes->Add(1);
+  metrics.model_evals->Add(static_cast<uint64_t>(opts_.k));
+  metrics.candidate_n->Set(static_cast<double>(n));
+  metrics.confidence->Set(prob);
+  return prob;
 }
 
 Result<SseResult> SseEstimator::EstimateMinimumSize(GenerativeImputer& model,
@@ -212,6 +247,7 @@ Result<SseResult> SseEstimator::EstimateMinimumSize(GenerativeImputer& model,
   if (!prepared_) {
     return Status::Internal("Prepare() must be called before estimation");
   }
+  SCIS_TRACE_SPAN("sse.search");
   Stopwatch watch;
   SseResult res;
   res.zeta = SseZeta(opts_.lambda, validation.num_cols());
@@ -242,6 +278,7 @@ Result<SseResult> SseEstimator::EstimateMinimumSize(GenerativeImputer& model,
   res.probability_at_n_star =
       ProbabilityAt(model, validation, n0, res.n_star, data_size);
   res.sse_seconds = watch.ElapsedSeconds();
+  SseMetrics::Get().n_star->Set(static_cast<double>(res.n_star));
   return res;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/string_util.h"
@@ -29,7 +30,9 @@ Result<Dataset> ReadCsvDataset(const std::string& path,
   size_t lineno = 1;
   while (std::getline(in, line)) {
     ++lineno;
-    if (Trim(line).empty()) continue;
+    // Blank lines are separators — except in a 1-column file, where an
+    // empty line is a row whose single field is missing.
+    if (d != 1 && Trim(line).empty()) continue;
     std::vector<std::string> fields = Split(line, ',');
     if (fields.size() != d) {
       return Status::InvalidArgument(
@@ -66,6 +69,9 @@ Status WriteCsvDataset(const Dataset& data, const std::string& path) {
   }
   out << '\n';
   std::ostringstream row;
+  // max_digits10 so every finite double survives the text round trip
+  // bit-exactly (the stream default of 6 significant digits does not).
+  row.precision(std::numeric_limits<double>::max_digits10);
   for (size_t i = 0; i < data.num_rows(); ++i) {
     row.str("");
     for (size_t j = 0; j < data.num_cols(); ++j) {
@@ -75,6 +81,9 @@ Status WriteCsvDataset(const Dataset& data, const std::string& path) {
     row << '\n';
     out << row.str();
   }
+  // A buffered ofstream only surfaces ENOSPC/EIO at flush time; flush
+  // before testing the stream state or short writes pass silently.
+  out.flush();
   if (!out) return Status::IoError("write failed: " + path);
   return Status::OK();
 }

@@ -1,0 +1,117 @@
+#include "obs/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace scis::obs {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.*g",
+                std::numeric_limits<double>::max_digits10, v);
+  return buf;
+}
+
+void JsonWriter::MaybeComma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // key already emitted the separator
+  }
+  if (!has_value_.empty()) {
+    if (has_value_.back()) out_ += ',';
+    has_value_.back() = true;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  MaybeComma();
+  out_ += '{';
+  has_value_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  has_value_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::BeginArray() {
+  MaybeComma();
+  out_ += '[';
+  has_value_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  has_value_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::Key(std::string_view name) {
+  if (!has_value_.empty()) {
+    if (has_value_.back()) out_ += ',';
+    has_value_.back() = true;
+  }
+  out_ += '"';
+  out_ += JsonEscape(name);
+  out_ += "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::String(std::string_view v) {
+  MaybeComma();
+  out_ += '"';
+  out_ += JsonEscape(v);
+  out_ += '"';
+}
+
+void JsonWriter::Double(double v) {
+  MaybeComma();
+  out_ += JsonNumber(v);
+}
+
+void JsonWriter::Int(int64_t v) {
+  MaybeComma();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::Uint(uint64_t v) {
+  MaybeComma();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::Bool(bool v) {
+  MaybeComma();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::Raw(std::string_view token) {
+  MaybeComma();
+  out_ += token;
+}
+
+}  // namespace scis::obs

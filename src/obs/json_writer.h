@@ -1,0 +1,55 @@
+// Minimal streaming JSON writer shared by the trace exporter and the run
+// report. Emits UTF-8 JSON into an internal buffer; doubles are printed
+// with max_digits10 ("%.17g") so every value round-trips bit-exactly, and
+// non-finite doubles become null (JSON has no Inf/NaN literals).
+#ifndef SCIS_OBS_JSON_WRITER_H_
+#define SCIS_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scis::obs {
+
+// Escapes `s` for inclusion inside a JSON string literal (no quotes added).
+std::string JsonEscape(std::string_view s);
+
+// A JSON number token for `v`: round-trippable for finite values, "null"
+// otherwise.
+std::string JsonNumber(double v);
+
+class JsonWriter {
+ public:
+  // Structure. Key() must precede every value inside an object.
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  void Key(std::string_view name);
+
+  // Values (also usable as array elements).
+  void String(std::string_view v);
+  void Double(double v);
+  void Int(int64_t v);
+  void Uint(uint64_t v);
+  void Bool(bool v);
+  // Emits `token` verbatim — for values already rendered as JSON.
+  void Raw(std::string_view token);
+
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+ private:
+  void MaybeComma();
+
+  std::string out_;
+  // One entry per open object/array: whether a value has been emitted at
+  // that level (controls comma insertion).
+  std::vector<bool> has_value_;
+  bool pending_key_ = false;
+};
+
+}  // namespace scis::obs
+
+#endif  // SCIS_OBS_JSON_WRITER_H_

@@ -4,11 +4,41 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/parallel_for.h"
 
 namespace scis {
 
 namespace {
+
+// Handles are resolved once and cached; updates are relaxed atomics, so the
+// per-solve instrumentation cost is a handful of nanoseconds.
+struct SinkhornMetrics {
+  obs::Counter* solves;
+  obs::Counter* iterations;
+  obs::Counter* converged;
+  obs::Counter* ladder_rungs;
+  obs::Counter* plan_ns;
+  obs::Histogram* iters_per_solve;
+
+  static const SinkhornMetrics& Get() {
+    static const SinkhornMetrics m = [] {
+      obs::Registry& r = obs::Registry::Global();
+      return SinkhornMetrics{
+          r.GetCounter("sinkhorn.solves"),
+          r.GetCounter("sinkhorn.iterations"),
+          r.GetCounter("sinkhorn.converged_solves"),
+          r.GetCounter("sinkhorn.ladder_rungs"),
+          r.GetCounter("sinkhorn.plan_recovery_ns"),
+          r.GetHistogram("sinkhorn.iters_per_solve",
+                         {1, 2, 4, 8, 16, 32, 64, 128, 256, 512}),
+      };
+    }();
+    return m;
+  }
+};
 
 // log-sum-exp of v[j] over j, max-shifted.
 double LogSumExp(const std::vector<double>& v) {
@@ -34,6 +64,7 @@ int RunIterations(const Matrix& cost, const std::vector<double>& loga,
                   const std::vector<double>& logb, double lam, int max_iters,
                   double tol, std::vector<double>& f, std::vector<double>& g,
                   bool* converged) {
+  SCIS_TRACE_SPAN("sinkhorn.iterate");
   const size_t n = cost.rows(), m = cost.cols();
   // Grains depend only on the matrix shape (determinism contract).
   const size_t col_grain = runtime::GrainForWork(m, n);
@@ -94,6 +125,8 @@ SinkhornSolution SolveSinkhornWeighted(const Matrix& cost,
                                        const std::vector<double>& a,
                                        const std::vector<double>& b,
                                        const SinkhornOptions& opts) {
+  SCIS_TRACE_SPAN("sinkhorn.solve");
+  const SinkhornMetrics& metrics = SinkhornMetrics::Get();
   const size_t n = cost.rows(), m = cost.cols();
   SCIS_CHECK_GT(n, 0u);
   SCIS_CHECK_GT(m, 0u);
@@ -125,16 +158,23 @@ SinkhornSolution SolveSinkhornWeighted(const Matrix& cost,
       sol.iters += RunIterations(cost, loga, logb, rung,
                                  std::min(50, std::max(2, opts.max_iters / 8)),
                                  std::max(opts.tol, 1e-4), f, g, &conv);
+      metrics.ladder_rungs->Add(1);
     }
   }
   bool conv = false;
   sol.iters += RunIterations(cost, loga, logb, lam,
                              opts.max_iters, opts.tol, f, g, &conv);
   sol.converged = conv;
+  metrics.solves->Add(1);
+  metrics.iterations->Add(static_cast<uint64_t>(sol.iters));
+  if (conv) metrics.converged->Add(1);
+  metrics.iters_per_solve->Observe(static_cast<double>(sol.iters));
 
   // Plan recovery: rows are independent; the transport-cost and entropy
   // sums reduce over fixed row chunks combined in chunk order, so the
   // result does not depend on the thread count.
+  SCIS_TRACE_SPAN("sinkhorn.plan");
+  Stopwatch plan_watch;
   sol.plan = Matrix(n, m);
   struct PlanPartial {
     double cost = 0.0;
@@ -161,6 +201,8 @@ SinkhornSolution SolveSinkhornWeighted(const Matrix& cost,
         acc.entropy += part.entropy;
         return acc;
       });
+  metrics.plan_ns->Add(
+      static_cast<uint64_t>(plan_watch.ElapsedSeconds() * 1e9));
   sol.transport_cost = total.cost;
   sol.reg_value = total.cost + lam * total.entropy;
   sol.f = std::move(f);

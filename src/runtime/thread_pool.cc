@@ -3,6 +3,8 @@
 #include <chrono>
 
 #include "common/check.h"
+#include "common/string_util.h"
+#include "obs/trace.h"
 
 namespace scis::runtime {
 
@@ -16,7 +18,7 @@ ThreadPool::ThreadPool(int num_threads) {
   SCIS_CHECK_GT(num_threads, 0);
   workers_.reserve(static_cast<size_t>(num_threads));
   for (int t = 0; t < num_threads; ++t) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, t] { WorkerLoop(t); });
   }
 }
 
@@ -40,8 +42,10 @@ void ThreadPool::Submit(std::function<void()> fn) {
 
 bool ThreadPool::OnWorkerThread() { return t_on_worker; }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int worker_index) {
   t_on_worker = true;
+  // Label the worker in exported chrome://tracing timelines.
+  obs::SetCurrentThreadName(StrFormat("scis-worker-%d", worker_index));
   for (;;) {
     std::function<void()> task;
     {

@@ -44,7 +44,7 @@ class ThreadPool {
   uint64_t busy_ns() const { return busy_ns_.load(std::memory_order_relaxed); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
 
   std::mutex mu_;
   std::condition_variable cv_;

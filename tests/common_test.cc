@@ -103,6 +103,19 @@ TEST(StringUtilTest, ParseDoubleRejectsGarbage) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(StringUtilTest, ParseDoubleRejectsNonFinite) {
+  // strtod accepts these, but they are not valid dataset values and must
+  // NOT be treated as missing markers either.
+  for (const char* s :
+       {"inf", "Inf", "INF", "-inf", "infinity", "-Infinity", "1e999",
+        "-1e999"}) {
+    EXPECT_EQ(ParseDouble(s).status().code(), StatusCode::kInvalidArgument)
+        << s;
+  }
+  // Near-overflow but finite still parses.
+  EXPECT_TRUE(ParseDouble("1e308").ok());
+}
+
 TEST(StringUtilTest, ParseInt) {
   EXPECT_EQ(ParseInt("123").value(), 123);
   EXPECT_EQ(ParseInt("-7").value(), -7);

@@ -230,6 +230,40 @@ TEST(CsvTest, RoundTripWithMissing) {
   std::remove(path.c_str());
 }
 
+TEST(CsvTest, RoundTripBitExactRandomDatasets) {
+  // Property test: writing then reading any dataset must reproduce both the
+  // values and the mask bit-for-bit (requires max_digits10 on the writer;
+  // the stream default of 6 significant digits loses low bits).
+  const std::string path = "/tmp/scis_csv_roundtrip_test.csv";
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    const size_t n = 5 + seed * 3, d = 1 + seed % 5;
+    Matrix x(n, d);
+    for (size_t k = 0; k < x.size(); ++k) {
+      // Mix magnitudes so 6-digit rounding would visibly corrupt values.
+      x.data()[k] = rng.Normal() * std::pow(10.0, double(k % 11) - 5.0);
+    }
+    Dataset full = Dataset::Complete("rt", x);
+    Dataset ds = seed % 2 ? InjectMcar(full, 0.3, rng) : full;
+    ASSERT_TRUE(WriteCsvDataset(ds, path).ok());
+    Result<Dataset> back = ReadCsvDataset(path, "rt");
+    ASSERT_TRUE(back.ok());
+    EXPECT_TRUE(back->mask() == ds.mask()) << "seed " << seed;
+    EXPECT_TRUE(back->values() == ds.values()) << "seed " << seed;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, WriteFailureSurfacesAsIoError) {
+  // /dev/full opens fine and fails only once the buffered stream flushes —
+  // exactly the failure the flush-before-check in WriteCsvDataset catches.
+  if (!std::filesystem::exists("/dev/full")) GTEST_SKIP();
+  Rng rng(11);
+  Dataset d = Dataset::Complete("f", rng.UniformMatrix(64, 4, 0, 1));
+  Status st = WriteCsvDataset(d, "/dev/full");
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+}
+
 TEST(CsvTest, MissingFileErrors) {
   EXPECT_EQ(ReadCsvDataset("/nonexistent/nope.csv", "x").status().code(),
             StatusCode::kIoError);

@@ -2,8 +2,11 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ot/masked_cost.h"
 #include "ot/sinkhorn.h"
+#include "runtime/runtime.h"
 #include "tensor/matrix_ops.h"
 #include "tensor/rng.h"
 
@@ -148,6 +151,48 @@ TEST(MaskedCostTest, MaskedCoordinatesIgnored) {
   a(0, 1) = -1234.0;
   Matrix c2 = MaskedCostMatrix(a, ma, b, mb);
   EXPECT_NEAR(c1(0, 0), c2(0, 0), 1e-12);
+}
+
+// Work counters must be a pure function of the input, never of the thread
+// count: the runtime chunks deterministically, so the solves/iterations the
+// instrumentation records at --threads=1 and --threads=N are identical.
+// Wall-clock counters (plan_recovery_ns) are deliberately excluded.
+TEST(SinkhornTest, MetricsDeterministicAcrossThreadCounts) {
+  auto run_and_snapshot = [](int threads) {
+    runtime::SetNumThreads(threads);
+    obs::Registry::Global().Reset();
+    obs::ClearTrace();
+    obs::SetTraceEnabled(true);
+    Rng rng(42);
+    Matrix x = rng.UniformMatrix(120, 6, 0.0, 1.0);
+    Matrix cost = PairwiseSquaredDistances(x, x);
+    SinkhornOptions opts = Opts(1.0, 60);
+    opts.epsilon_scaling = true;
+    for (int rep = 0; rep < 3; ++rep) {
+      SinkhornSolution s = SolveSinkhorn(cost, opts);
+      EXPECT_GT(s.iters, 0);
+    }
+    obs::SetTraceEnabled(false);
+    return obs::Registry::Global().Snapshot();
+  };
+
+  obs::MetricsSnapshot one = run_and_snapshot(1);
+  obs::MetricsSnapshot four = run_and_snapshot(4);
+  EXPECT_GT(four.CounterOr("sinkhorn.solves"), 0u);
+  EXPECT_GT(obs::TraceSpanCount(), 0u);
+  for (const char* name :
+       {"sinkhorn.solves", "sinkhorn.iterations", "sinkhorn.converged_solves",
+        "sinkhorn.ladder_rungs"}) {
+    EXPECT_EQ(one.CounterOr(name), four.CounterOr(name)) << name;
+  }
+  const auto& h1 = one.histograms.at("sinkhorn.iters_per_solve");
+  const auto& h4 = four.histograms.at("sinkhorn.iters_per_solve");
+  EXPECT_EQ(h1.counts, h4.counts);
+  EXPECT_EQ(h1.count, h4.count);
+
+  obs::ClearTrace();
+  obs::Registry::Global().Reset();
+  runtime::SetNumThreads(0);  // restore the env/hardware default
 }
 
 }  // namespace
