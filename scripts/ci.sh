@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Pre-merge gate and nightly driver (see TESTING.md).
+#
+#   scripts/ci.sh            # tier-1 gate: build default preset, ctest -L tier1
+#   scripts/ci.sh nightly    # long fuzz at high iteration counts, plain and
+#                            # under the tsan and asan presets
+#
+# Requires cmake >= 3.21 (presets). Run from anywhere inside the repo.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+MODE="${1:-tier1}"
+JOBS="${JOBS:-$(nproc)}"
+
+case "$MODE" in
+  tier1)
+    cmake --preset default >/dev/null
+    cmake --build --preset default -j "$JOBS"
+    ctest --preset tier1 -j "$JOBS"
+    ;;
+  nightly)
+    # High iteration counts: the nightly executable scales its property
+    # loops with SCIS_NIGHTLY_ITERS (default 200 keeps plain `ctest` fast).
+    export SCIS_NIGHTLY_ITERS="${SCIS_NIGHTLY_ITERS:-2000}"
+    cmake --preset default >/dev/null
+    cmake --build --preset default -j "$JOBS"
+    ctest --preset nightly -j "$JOBS"
+    for SAN in tsan asan; do
+      cmake --preset "$SAN" >/dev/null
+      cmake --build --preset "$SAN" -j "$JOBS"
+      ctest --preset "nightly-$SAN" -j "$JOBS"
+    done
+    ;;
+  *)
+    echo "usage: scripts/ci.sh [tier1|nightly]" >&2
+    exit 2
+    ;;
+esac

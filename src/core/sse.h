@@ -94,6 +94,10 @@ class SseEstimator {
   Status Prepare(GenerativeImputer& model, const Dataset& curvature_data);
 
   const std::vector<double>& h_diag() const { return h_diag_; }
+  // Lower Cholesky factor L of the ridged full Gauss–Newton matrix, H=LLᵀ
+  // (empty in diagonal mode). Exposed so tests can check the probe against
+  // a dense reference.
+  const Matrix& h_chol() const { return h_chol_; }
 
  private:
   // Masked RMS output difference (Eq. 4) between two parameter vectors.
@@ -106,7 +110,7 @@ class SseEstimator {
   bool prepared_ = false;
   std::vector<double> theta0_;
   std::vector<double> h_diag_;
-  // Full-GN mode: upper Cholesky solve operator for H (sampling uses
+  // Full-GN mode: lower Cholesky factor of H (sampling back-substitutes
   // x = L⁻ᵀ z so that Cov(x) = H⁻¹). Empty in diagonal mode.
   Matrix h_chol_;
   // Common random numbers: k pairs of standard-normal parameter draws.

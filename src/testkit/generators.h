@@ -1,0 +1,71 @@
+// Deterministic random-input generators for property tests: matrices,
+// missingness masks (MCAR/MAR/MNAR, via the production injectors), datasets
+// with edge shapes (single column, fully-missing rows, all-observed), and
+// MLP configurations. Everything is a pure function of the Rng passed in, so
+// a failing seed reproduces the exact input.
+#ifndef SCIS_TESTKIT_GENERATORS_H_
+#define SCIS_TESTKIT_GENERATORS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/layers.h"
+#include "tensor/matrix.h"
+#include "tensor/rng.h"
+
+namespace scis::testkit {
+
+struct MatrixGen {
+  size_t min_rows = 1, max_rows = 8;
+  size_t min_cols = 1, max_cols = 6;
+  double lo = -2.0, hi = 2.0;  // uniform range when !gaussian
+  bool gaussian = false;
+  double stddev = 1.0;
+};
+
+Matrix GenMatrix(Rng& rng, const MatrixGen& g = {});
+
+enum class MaskMechanism { kMcar, kMar, kMnar };
+
+// {0,1} mask over `values` with the given mechanism and target missing
+// rate. MAR/MNAR reuse the production injectors (data/missingness) so the
+// generated patterns match what the pipeline actually produces; MAR falls
+// back to MCAR below two columns (it needs a pivot column).
+Matrix GenMask(Rng& rng, const Matrix& values, MaskMechanism mechanism,
+               double missing_rate);
+
+struct DatasetGen {
+  size_t min_rows = 2, max_rows = 24;
+  size_t min_cols = 1, max_cols = 8;
+  double lo = 0.0, hi = 1.0;  // value range (library convention: [0,1]^d)
+  double min_missing = 0.0, max_missing = 0.6;
+  MaskMechanism mechanism = MaskMechanism::kMcar;
+  // Probability of forcing an edge shape: a single-column dataset, a row
+  // with every cell missing, or an all-observed dataset.
+  double edge_case_prob = 0.25;
+};
+
+// Random incomplete dataset (numeric columns, Validate()-clean).
+Dataset GenDataset(Rng& rng, const DatasetGen& g = {});
+
+struct MlpConfig {
+  std::vector<size_t> dims;  // {in, hidden..., out}
+  Activation hidden_act = Activation::kTanh;
+  Activation out_act = Activation::kNone;
+  uint64_t init_seed = 1;
+
+  std::string ToString() const;
+};
+
+// 0–2 hidden layers of width 2–8, random smooth activations.
+MlpConfig GenMlpConfig(Rng& rng, size_t in_dim, size_t out_dim);
+
+// Materializes the config: registers parameters in `store`.
+std::unique_ptr<Mlp> BuildMlp(ParamStore* store, const std::string& name,
+                              const MlpConfig& config);
+
+}  // namespace scis::testkit
+
+#endif  // SCIS_TESTKIT_GENERATORS_H_

@@ -1,0 +1,46 @@
+// gtest bindings for the testkit property runner and golden matcher. Only
+// test files include this header; the compiled scis_testkit library stays
+// gtest-free so tools and benches can link it too.
+#ifndef SCIS_TESTKIT_GTEST_GLUE_H_
+#define SCIS_TESTKIT_GTEST_GLUE_H_
+
+#include <gtest/gtest.h>
+
+#include "testkit/golden.h"
+#include "testkit/property.h"
+
+// Runs a seed-indexed property: CHECK_PROPERTY("name", [&](uint64_t seed)
+// -> PropertyStatus { ... }); optional trailing PropertyOptions.
+#define CHECK_PROPERTY(name, ...)                                      \
+  do {                                                                 \
+    const ::scis::testkit::PropertyRunResult testkit_result_ =         \
+        ::scis::testkit::RunPropertyImpl(name, __VA_ARGS__);           \
+    EXPECT_TRUE(testkit_result_.passed) << testkit_result_.report;     \
+  } while (0)
+
+// Property over a generated Matrix, with shrinking on failure:
+// CHECK_MATRIX_PROPERTY("name", gen(Rng&)->Matrix,
+//                       pred(const Matrix&)->PropertyStatus).
+#define CHECK_MATRIX_PROPERTY(name, ...)                               \
+  do {                                                                 \
+    const ::scis::testkit::PropertyRunResult testkit_result_ =         \
+        ::scis::testkit::RunMatrixPropertyImpl(name, __VA_ARGS__);     \
+    EXPECT_TRUE(testkit_result_.passed) << testkit_result_.report;     \
+  } while (0)
+
+#define CHECK_DATASET_PROPERTY(name, ...)                              \
+  do {                                                                 \
+    const ::scis::testkit::PropertyRunResult testkit_result_ =         \
+        ::scis::testkit::RunDatasetPropertyImpl(name, __VA_ARGS__);    \
+    EXPECT_TRUE(testkit_result_.passed) << testkit_result_.report;     \
+  } while (0)
+
+// Golden comparison as a gtest assertion.
+#define EXPECT_MATCHES_GOLDEN(name, content)                           \
+  do {                                                                 \
+    const ::scis::testkit::GoldenMatch testkit_match_ =                \
+        ::scis::testkit::MatchGolden(name, content);                   \
+    EXPECT_TRUE(testkit_match_.ok) << testkit_match_.message;          \
+  } while (0)
+
+#endif  // SCIS_TESTKIT_GTEST_GLUE_H_

@@ -1,0 +1,63 @@
+#include "testkit/models.h"
+
+#include "tensor/matrix_ops.h"
+
+namespace scis::testkit {
+
+TinyMlpModel::TinyMlpModel(MlpConfig config, size_t d)
+    : config_(std::move(config)), d_(d) {
+  SCIS_CHECK_EQ(config_.dims.front(), 2 * d);
+  SCIS_CHECK_EQ(config_.dims.back(), d);
+  mlp_ = BuildMlp(&store_, "tiny.G", config_);
+}
+
+MlpConfig TinyMlpModel::DefaultConfig(size_t d, uint64_t seed) {
+  MlpConfig config;
+  config.dims = {2 * d, d + 2, d};
+  config.hidden_act = Activation::kTanh;
+  config.out_act = Activation::kSigmoid;
+  config.init_seed = seed;
+  return config;
+}
+
+Status TinyMlpModel::Fit(const Dataset& data) {
+  if (data.num_rows() == 0) return Status::InvalidArgument("empty dataset");
+  Adam adam(learning_rate);
+  for (int step = 0; step < fit_steps; ++step) {
+    Tape tape;
+    Var xbar =
+        ReconstructOnTape(tape, data.values(), data.mask(), /*train=*/true);
+    Var loss = WeightedMseLoss(xbar, tape.Constant(data.values()),
+                               tape.Constant(data.mask()));
+    tape.Backward(loss);
+    adam.Step(store_, store_.CollectGrads());
+  }
+  return Status::OK();
+}
+
+Matrix TinyMlpModel::Reconstruct(const Dataset& data) const {
+  Tape tape;
+  auto* self = const_cast<TinyMlpModel*>(this);
+  return self
+      ->ReconstructOnTape(tape, data.values(), data.mask(), /*train=*/false)
+      .value();
+}
+
+Var TinyMlpModel::ReconstructOnTape(Tape& tape, const Matrix& x,
+                                    const Matrix& m, bool /*train*/) {
+  SCIS_CHECK_EQ(x.cols(), d_);
+  Var in = tape.Constant(ConcatCols(x, m));
+  return mlp_->Forward(tape, in);
+}
+
+std::unique_ptr<GenerativeImputer> TinyMlpModel::CloneArchitecture(
+    uint64_t seed) const {
+  MlpConfig config = config_;
+  config.init_seed = seed;
+  auto clone = std::make_unique<TinyMlpModel>(std::move(config), d_);
+  clone->fit_steps = fit_steps;
+  clone->learning_rate = learning_rate;
+  return clone;
+}
+
+}  // namespace scis::testkit

@@ -1,0 +1,67 @@
+// Slow reference oracles for differential testing. Each oracle is an
+// independent, deliberately naive implementation of math the production
+// code optimizes (blocked/parallel kernels, warm-started log-domain
+// Sinkhorn, analytic Prop.-1 gradients, Hutchinson-probed curvature), so a
+// bug has to appear in two unrelated implementations to slip through.
+// Oracles are serial and unoptimized; keep instances tiny.
+#ifndef SCIS_TESTKIT_ORACLES_H_
+#define SCIS_TESTKIT_ORACLES_H_
+
+#include <vector>
+
+#include "core/dim.h"
+#include "models/imputer.h"
+#include "tensor/matrix.h"
+
+namespace scis::testkit {
+
+// Schoolbook O(n³) matmul: serial triple loop, no blocking, accumulation in
+// plain left-to-right order.
+Matrix NaiveMatMul(const Matrix& a, const Matrix& b);
+
+// Definition-2 masking cost written directly from the formula:
+// C[i][j] = || ma_i ⊙ a_i − mb_j ⊙ b_j ||².
+Matrix NaiveMaskedCost(const Matrix& a, const Matrix& ma, const Matrix& b,
+                       const Matrix& mb);
+
+struct OtOracle {
+  Matrix plan;                  // optimal P*
+  double transport_cost = 0.0;  // <P*, C>
+  double reg_value = 0.0;       // <P*, C> + λ Σ P log P (production convention)
+  int iters = 0;
+  bool converged = false;
+};
+
+// Entropic OT with uniform marginals via the textbook log-domain fixed
+// point φ_i = log aᵢ − LSE_j(ψ_j − C_ij/λ), iterated to ~machine precision.
+// No ε-scaling, no warm start, no early exit heuristics.
+OtOracle SolveEntropicOtOracle(const Matrix& cost, double lambda,
+                               int max_iters = 20000, double tol = 1e-13);
+
+// MS divergence (Def. 4) assembled from three oracle OT solves over naive
+// masked costs: 2·OT(x̄,x) − OT(x̄,x̄) − OT(x,x).
+double OracleMsDivergence(const Matrix& xbar, const Matrix& x, const Matrix& m,
+                          double lambda);
+
+// Central-difference gradient of the full DIM evaluation loss
+// (DimTrainer::EvalLoss: MS divergence through the generator) with respect
+// to the flattened generator parameters. O(P) loss evaluations — tiny
+// models only.
+std::vector<double> NumericDimLossGrad(GenerativeImputer& model,
+                                       const DimOptions& opts, const Matrix& x,
+                                       const Matrix& m, double h = 1e-5);
+
+// Exact dense masked Gauss–Newton matrix (Theorem 1's H):
+//   H = (1/n) Σ_{observed cells c} (∂x̄_c/∂θ)(∂x̄_c/∂θ)ᵀ
+// computed with one backward pass per observed cell (O(cells·P) — tiny
+// models only). This is the expectation the production Hutchinson probe
+// estimates (sse.cc Prepare), before its ridge floor.
+Matrix DenseGaussNewton(GenerativeImputer& model, const Dataset& data);
+
+// Diagonal of DenseGaussNewton without forming the P×P matrix.
+std::vector<double> DenseGaussNewtonDiag(GenerativeImputer& model,
+                                         const Dataset& data);
+
+}  // namespace scis::testkit
+
+#endif  // SCIS_TESTKIT_ORACLES_H_

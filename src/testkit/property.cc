@@ -1,0 +1,144 @@
+#include "testkit/property.h"
+
+#include <cstdlib>
+
+#include "testkit/shrink.h"
+
+namespace scis::testkit {
+
+namespace {
+
+uint64_t Fnv1a64(const std::string& s) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::string ReplayLine(const std::string& name, uint64_t seed) {
+  std::ostringstream oss;
+  oss << "property '" << name << "' failed at seed " << seed
+      << "\n  replay: SCIS_TESTKIT_SEED=" << seed
+      << " ./scis_tests --gtest_filter=<this test>";
+  return oss.str();
+}
+
+// Shared driver for all three runners: iterates the seed stream, and on the
+// first failure lets `describe` (typed runners: regenerate + shrink) build
+// the detailed report.
+PropertyRunResult RunSeeds(
+    const std::string& name, const PropertyOptions& opts,
+    const std::function<PropertyStatus(uint64_t)>& eval,
+    const std::function<void(uint64_t, PropertyRunResult&)>& describe) {
+  PropertyRunResult result;
+  const std::optional<uint64_t> replay = ReplaySeedFromEnv();
+  const int iters = replay ? 1 : opts.iterations;
+  for (int i = 0; i < iters; ++i) {
+    const uint64_t seed =
+        replay ? *replay : DeriveSeed(name, opts.base_seed, i);
+    ++result.iterations_run;
+    PropertyStatus status = eval(seed);
+    if (status.ok) continue;
+    result.passed = false;
+    result.failing_seed = seed;
+    result.failure_message = std::move(status.message);
+    if (describe) describe(seed, result);
+    std::ostringstream oss;
+    oss << ReplayLine(name, seed) << "\n  " << result.failure_message;
+    if (!result.shrunk_input.empty()) {
+      oss << "\n  shrunk counterexample:\n" << result.shrunk_input;
+    }
+    result.report = oss.str();
+    return result;
+  }
+  return result;
+}
+
+}  // namespace
+
+uint64_t DeriveSeed(const std::string& name, uint64_t base_seed,
+                    int iteration) {
+  const uint64_t key = Fnv1a64(name) ^ base_seed;
+  return SplitMix64(key + 0x9E3779B97F4A7C15ULL *
+                              static_cast<uint64_t>(iteration + 1));
+}
+
+std::optional<uint64_t> ReplaySeedFromEnv() {
+  const char* env = std::getenv("SCIS_TESTKIT_SEED");
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') return std::nullopt;
+  return static_cast<uint64_t>(v);
+}
+
+PropertyRunResult RunPropertyImpl(
+    const std::string& name,
+    const std::function<PropertyStatus(uint64_t)>& property,
+    const PropertyOptions& opts) {
+  return RunSeeds(name, opts, property, nullptr);
+}
+
+PropertyRunResult RunMatrixPropertyImpl(
+    const std::string& name, const std::function<Matrix(Rng&)>& gen,
+    const std::function<PropertyStatus(const Matrix&)>& property,
+    const PropertyOptions& opts) {
+  auto eval = [&](uint64_t seed) {
+    Rng rng(seed);
+    return property(gen(rng));
+  };
+  auto describe = [&](uint64_t seed, PropertyRunResult& result) {
+    Rng rng(seed);
+    Matrix failing = gen(rng);
+    int evals = opts.max_shrink_evals;
+    auto still_fails = [&](const Matrix& m) {
+      if (evals-- <= 0) return false;
+      return !property(m).ok;
+    };
+    const Matrix shrunk = ShrinkMatrix(failing, still_fails);
+    // Report the property's message at the *shrunk* input when available.
+    PropertyStatus at_shrunk = property(shrunk);
+    if (!at_shrunk.ok) result.failure_message = std::move(at_shrunk.message);
+    result.shrunk_input = shrunk.ToString(/*max_rows=*/16, /*max_cols=*/16);
+  };
+  return RunSeeds(name, opts, eval, describe);
+}
+
+PropertyRunResult RunDatasetPropertyImpl(
+    const std::string& name, const std::function<Dataset(Rng&)>& gen,
+    const std::function<PropertyStatus(const Dataset&)>& property,
+    const PropertyOptions& opts) {
+  auto eval = [&](uint64_t seed) {
+    Rng rng(seed);
+    return property(gen(rng));
+  };
+  auto describe = [&](uint64_t seed, PropertyRunResult& result) {
+    Rng rng(seed);
+    Dataset failing = gen(rng);
+    int evals = opts.max_shrink_evals;
+    auto still_fails = [&](const Dataset& d) {
+      if (evals-- <= 0) return false;
+      return !property(d).ok;
+    };
+    const Dataset shrunk = ShrinkDataset(failing, still_fails);
+    PropertyStatus at_shrunk = property(shrunk);
+    if (!at_shrunk.ok) result.failure_message = std::move(at_shrunk.message);
+    std::ostringstream oss;
+    oss << "values:\n"
+        << shrunk.values().ToString(16, 16) << "mask:\n"
+        << shrunk.mask().ToString(16, 16);
+    result.shrunk_input = oss.str();
+  };
+  return RunSeeds(name, opts, eval, describe);
+}
+
+}  // namespace scis::testkit

@@ -1,0 +1,125 @@
+// Seeded property-test runner: the correctness harness behind every
+// randomized suite in tests/.
+//
+// A property is a predicate evaluated under many derived seeds. On failure
+// the runner reports the exact seed that reproduces the failure (replay it
+// with SCIS_TESTKIT_SEED=<seed>), and the typed runners additionally shrink
+// the failing Matrix/Dataset input to a (greedily) minimal counterexample
+// before reporting. The core runner is gtest-free so oracles and tools can
+// reuse it; test files include testkit/gtest_glue.h for the CHECK_PROPERTY
+// macros that turn a PropertyRunResult into a test failure.
+#ifndef SCIS_TESTKIT_PROPERTY_H_
+#define SCIS_TESTKIT_PROPERTY_H_
+
+#include <functional>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "data/dataset.h"
+#include "tensor/matrix.h"
+#include "tensor/rng.h"
+
+namespace scis::testkit {
+
+struct PropertyOptions {
+  int iterations = 32;        // seeds tried when no replay seed is set
+  uint64_t base_seed = 0;     // 0 = derived from the property name
+  int max_shrink_evals = 400; // predicate-call budget while shrinking
+};
+
+// Outcome of one property evaluation. Use the PROP_CHECK* helpers below to
+// build failing statuses with the offending values in the message.
+struct PropertyStatus {
+  bool ok = true;
+  std::string message;
+
+  static PropertyStatus Pass() { return {}; }
+  static PropertyStatus Fail(std::string msg) { return {false, std::move(msg)}; }
+};
+
+// Outcome of a full multi-seed run (what CHECK_PROPERTY asserts on).
+struct PropertyRunResult {
+  bool passed = true;
+  int iterations_run = 0;
+  uint64_t failing_seed = 0;     // valid when !passed
+  std::string failure_message;   // the property's own message
+  std::string shrunk_input;      // minimal failing input (typed runners only)
+  std::string report;            // human-readable report with the replay line
+};
+
+// Seed for iteration `i` of property `name`: a splitmix64 stream keyed by
+// FNV-1a(name) ^ base_seed, so suites do not share sequences and inserting
+// a property never reshuffles another property's seeds.
+uint64_t DeriveSeed(const std::string& name, uint64_t base_seed, int iteration);
+
+// Parses SCIS_TESTKIT_SEED (decimal u64). nullopt when unset/empty.
+std::optional<uint64_t> ReplaySeedFromEnv();
+
+// Runs `property` over the derived seed stream (or only the replay seed when
+// SCIS_TESTKIT_SEED is set) and reports the first failure.
+PropertyRunResult RunPropertyImpl(
+    const std::string& name,
+    const std::function<PropertyStatus(uint64_t)>& property,
+    const PropertyOptions& opts = {});
+
+// Typed runners: the input is generated from the seed via `gen`, checked via
+// `property`, and on failure greedily shrunk (row/col removal, value
+// simplification) while the property keeps failing.
+PropertyRunResult RunMatrixPropertyImpl(
+    const std::string& name, const std::function<Matrix(Rng&)>& gen,
+    const std::function<PropertyStatus(const Matrix&)>& property,
+    const PropertyOptions& opts = {});
+
+PropertyRunResult RunDatasetPropertyImpl(
+    const std::string& name, const std::function<Dataset(Rng&)>& gen,
+    const std::function<PropertyStatus(const Dataset&)>& property,
+    const PropertyOptions& opts = {});
+
+}  // namespace scis::testkit
+
+// In-property assertion helpers: return a failing PropertyStatus carrying
+// the expression and the offending values.
+#define PROP_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      return ::scis::testkit::PropertyStatus::Fail(                   \
+          std::string("PROP_CHECK failed: ") + #cond);                \
+    }                                                                 \
+  } while (0)
+
+#define PROP_CHECK_MSG(cond, msg)                                     \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::ostringstream prop_oss_;                                   \
+      prop_oss_ << "PROP_CHECK failed: " << #cond << " — " << msg;    \
+      return ::scis::testkit::PropertyStatus::Fail(prop_oss_.str());  \
+    }                                                                 \
+  } while (0)
+
+#define PROP_CHECK_NEAR(a, b, tol)                                        \
+  do {                                                                    \
+    const double prop_a_ = (a), prop_b_ = (b), prop_tol_ = (tol);         \
+    if (!(std::abs(prop_a_ - prop_b_) <= prop_tol_)) {                    \
+      std::ostringstream prop_oss_;                                       \
+      prop_oss_.precision(17);                                            \
+      prop_oss_ << "PROP_CHECK_NEAR failed: |" << #a << " - " << #b       \
+                << "| = " << std::abs(prop_a_ - prop_b_) << " > " << #tol \
+                << " (" << prop_a_ << " vs " << prop_b_ << ")";           \
+      return ::scis::testkit::PropertyStatus::Fail(prop_oss_.str());      \
+    }                                                                     \
+  } while (0)
+
+#define PROP_CHECK_LE(a, b)                                          \
+  do {                                                               \
+    const double prop_a_ = (a), prop_b_ = (b);                       \
+    if (!(prop_a_ <= prop_b_)) {                                     \
+      std::ostringstream prop_oss_;                                  \
+      prop_oss_.precision(17);                                       \
+      prop_oss_ << "PROP_CHECK_LE failed: " << #a << " = " << prop_a_ \
+                << " > " << #b << " = " << prop_b_;                  \
+      return ::scis::testkit::PropertyStatus::Fail(prop_oss_.str()); \
+    }                                                                \
+  } while (0)
+
+#endif  // SCIS_TESTKIT_PROPERTY_H_

@@ -1,0 +1,162 @@
+#include "testkit/shrink.h"
+
+#include <cmath>
+#include <vector>
+
+namespace scis::testkit {
+
+namespace {
+
+Matrix DropRows(const Matrix& m, size_t start, size_t count) {
+  Matrix out(m.rows() - count, m.cols());
+  size_t r = 0;
+  for (size_t i = 0; i < m.rows(); ++i) {
+    if (i >= start && i < start + count) continue;
+    for (size_t j = 0; j < m.cols(); ++j) out(r, j) = m(i, j);
+    ++r;
+  }
+  return out;
+}
+
+Matrix DropCols(const Matrix& m, size_t start, size_t count) {
+  Matrix out(m.rows(), m.cols() - count);
+  for (size_t i = 0; i < m.rows(); ++i) {
+    size_t c = 0;
+    for (size_t j = 0; j < m.cols(); ++j) {
+      if (j >= start && j < start + count) continue;
+      out(i, c++) = m(i, j);
+    }
+  }
+  return out;
+}
+
+// Tries block removals along one axis, largest blocks first. `apply` builds
+// the candidate, `axis_len` reads the current length; returns true if any
+// removal was accepted (the caller restarts from the largest block size).
+template <typename T>
+bool TryDropBlocks(T& current, size_t min_len,
+                   const std::function<size_t(const T&)>& axis_len,
+                   const std::function<T(const T&, size_t, size_t)>& drop,
+                   const std::function<bool(const T&)>& still_fails) {
+  const size_t len = axis_len(current);
+  if (len <= min_len) return false;
+  for (size_t block = (len - min_len + 1) / 2; block >= 1; block /= 2) {
+    for (size_t start = 0; start + block <= len; start += block) {
+      const size_t count = std::min(block, len - min_len);
+      if (count == 0) continue;
+      if (start + count > len) continue;
+      T candidate = drop(current, start, count);
+      if (still_fails(candidate)) {
+        current = std::move(candidate);
+        return true;
+      }
+    }
+    if (block == 1) break;
+  }
+  return false;
+}
+
+}  // namespace
+
+Matrix ShrinkMatrix(const Matrix& failing,
+                    const std::function<bool(const Matrix&)>& still_fails) {
+  Matrix current = failing;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // Structural moves first: fewer rows, then fewer columns.
+    while (TryDropBlocks<Matrix>(
+        current, 1, [](const Matrix& m) { return m.rows(); },
+        [](const Matrix& m, size_t s, size_t c) { return DropRows(m, s, c); },
+        still_fails)) {
+      progress = true;
+    }
+    while (TryDropBlocks<Matrix>(
+        current, 1, [](const Matrix& m) { return m.cols(); },
+        [](const Matrix& m, size_t s, size_t c) { return DropCols(m, s, c); },
+        still_fails)) {
+      progress = true;
+    }
+    // Value moves: zero an entry, else round it to the nearest integer.
+    for (size_t k = 0; k < current.size(); ++k) {
+      const double v = current[k];
+      if (v == 0.0) continue;
+      Matrix candidate = current;
+      candidate[k] = 0.0;
+      if (still_fails(candidate)) {
+        current = std::move(candidate);
+        progress = true;
+        continue;
+      }
+      const double rounded = std::round(v);
+      if (rounded != v) {
+        candidate = current;
+        candidate[k] = rounded;
+        if (still_fails(candidate)) {
+          current = std::move(candidate);
+          progress = true;
+        }
+      }
+    }
+  }
+  return current;
+}
+
+namespace {
+
+Dataset DatasetDropRows(const Dataset& d, size_t start, size_t count) {
+  return Dataset(d.name(), DropRows(d.values(), start, count),
+                 DropRows(d.mask(), start, count), d.columns());
+}
+
+Dataset DatasetDropCols(const Dataset& d, size_t start, size_t count) {
+  std::vector<ColumnMeta> cols;
+  for (size_t j = 0; j < d.columns().size(); ++j) {
+    if (j >= start && j < start + count) continue;
+    cols.push_back(d.columns()[j]);
+  }
+  return Dataset(d.name(), DropCols(d.values(), start, count),
+                 DropCols(d.mask(), start, count), std::move(cols));
+}
+
+}  // namespace
+
+Dataset ShrinkDataset(const Dataset& failing,
+                      const std::function<bool(const Dataset&)>& still_fails) {
+  Dataset current = failing;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    while (TryDropBlocks<Dataset>(
+        current, 1, [](const Dataset& d) { return d.num_rows(); },
+        [](const Dataset& d, size_t s, size_t c) {
+          return DatasetDropRows(d, s, c);
+        },
+        still_fails)) {
+      progress = true;
+    }
+    while (TryDropBlocks<Dataset>(
+        current, 1, [](const Dataset& d) { return d.num_cols(); },
+        [](const Dataset& d, size_t s, size_t c) {
+          return DatasetDropCols(d, s, c);
+        },
+        still_fails)) {
+      progress = true;
+    }
+    // Zero observed values (missing cells are already zero by convention).
+    for (size_t i = 0; i < current.num_rows(); ++i) {
+      for (size_t j = 0; j < current.num_cols(); ++j) {
+        if (current.values()(i, j) == 0.0) continue;
+        Dataset candidate = current;
+        candidate.mutable_values()(i, j) = 0.0;
+        if (still_fails(candidate)) {
+          current = std::move(candidate);
+          progress = true;
+        }
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace scis::testkit

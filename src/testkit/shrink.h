@@ -1,0 +1,29 @@
+// Greedy input shrinking for failing property tests: repeatedly applies
+// simplification moves (drop row/column blocks, then round values toward
+// zero) and keeps any move after which the failure predicate still fails,
+// until a fixpoint. Not globally minimal — greedy, like QuickCheck/RapidCheck
+// shrinkers — but typically turns a 20x8 random counterexample into a 1x1 or
+// 2x2 one a human can read.
+#ifndef SCIS_TESTKIT_SHRINK_H_
+#define SCIS_TESTKIT_SHRINK_H_
+
+#include <functional>
+
+#include "data/dataset.h"
+#include "tensor/matrix.h"
+
+namespace scis::testkit {
+
+// `still_fails` must return true while the input still reproduces the
+// failure; it may also return false to stop early (e.g. an eval budget).
+Matrix ShrinkMatrix(const Matrix& failing,
+                    const std::function<bool(const Matrix&)>& still_fails);
+
+// Dataset moves: drop row blocks, drop column blocks (with their metadata),
+// zero observed values. The result always satisfies Dataset::Validate().
+Dataset ShrinkDataset(const Dataset& failing,
+                      const std::function<bool(const Dataset&)>& still_fails);
+
+}  // namespace scis::testkit
+
+#endif  // SCIS_TESTKIT_SHRINK_H_

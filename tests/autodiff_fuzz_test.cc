@@ -1,121 +1,32 @@
-// Randomized autodiff stress tests: build random op chains and verify
-// every tape gradient against central differences. Catches interaction
-// bugs (gradient accumulation across shared nodes, shape handling) that
-// single-op tests miss.
+// Randomized autodiff stress tests on the testkit property runner: random
+// op chains verified against central differences. A failing run prints the
+// seed (replay with SCIS_TESTKIT_SEED=<seed>); seeds that ever exposed a
+// bug belong in tests/corpus/autodiff_fuzz_seeds.txt, which tier 1 replays
+// on every run so past failures can never regress silently. The nightly
+// suite runs the same property for orders of magnitude more iterations.
 #include <gtest/gtest.h>
 
-#include <cmath>
-#include <functional>
-#include <vector>
-
-#include "autodiff/grad_check.h"
-#include "autodiff/tape.h"
-#include "tensor/rng.h"
+#include "testkit/gtest_glue.h"
+#include "fuzz_common.h"
 
 namespace scis {
 namespace {
 
-// Random chain of smooth ops applied to a leaf; returns a scalar.
-// Avoids relu (kinks break finite differences) and keeps values in a range
-// where exp/log are well-conditioned.
-Var RandomChain(Tape& tape, Var x, uint64_t seed, int depth) {
-  Rng rng(seed);
-  Var h = Sigmoid(x);  // map into (0,1) first
-  Var shared = h;      // reused later to exercise grad accumulation
-  for (int step = 0; step < depth; ++step) {
-    switch (rng.UniformIndex(8)) {
-      case 0:
-        h = Tanh(MulScalar(h, rng.Uniform(0.5, 2.0)));
-        break;
-      case 1:
-        h = Sigmoid(AddScalar(h, rng.Uniform(-1.0, 1.0)));
-        break;
-      case 2:
-        h = Softplus(h);
-        break;
-      case 3:
-        h = Square(h);
-        break;
-      case 4:
-        h = Log(AddScalar(h, 1.5));  // argument stays >= ~0.5
-        break;
-      case 5:
-        h = Exp(MulScalar(h, 0.5));
-        break;
-      case 6:
-        h = Mul(h, shared);  // reuse an earlier node
-        break;
-      case 7:
-        h = Add(h, MulScalar(shared, -0.3));
-        break;
-    }
-  }
-  return Mean(Square(h));
+TEST(AutodiffFuzzTest, RandomChainGradChecks) {
+  testkit::PropertyOptions opts;
+  opts.iterations = 20;  // the pre-migration suite ran 20 fixed seeds
+  CHECK_PROPERTY("autodiff_fuzz_chain", AutodiffChainProperty, opts);
 }
 
-class AutodiffFuzzTest : public ::testing::TestWithParam<int> {};
-
-TEST_P(AutodiffFuzzTest, RandomChainGradChecks) {
-  const uint64_t seed = static_cast<uint64_t>(GetParam());
-  Rng rng(seed * 31 + 7);
-  const size_t n = 2 + rng.UniformIndex(4);
-  const size_t d = 1 + rng.UniformIndex(5);
-  Matrix x0 = rng.NormalMatrix(n, d, 0.0, 0.8);
-
-  Tape tape;
-  Var x = tape.Leaf(x0);
-  Var loss = RandomChain(tape, x, seed, 3 + static_cast<int>(seed % 5));
-  tape.Backward(loss);
-  Matrix analytic = x.grad();
-
-  auto f = [&](const Matrix& xv) {
-    Tape t2;
-    Var x2 = t2.Leaf(xv);
-    return RandomChain(t2, x2, seed, 3 + static_cast<int>(seed % 5))
-        .value()(0, 0);
-  };
-  EXPECT_LT(MaxGradError(f, x0, analytic, 1e-5), 5e-5) << "seed " << seed;
-}
-
-INSTANTIATE_TEST_SUITE_P(Seeds, AutodiffFuzzTest, ::testing::Range(1, 21));
-
-TEST(AutodiffFuzzTest, TwoLeafRandomGraphs) {
-  for (uint64_t seed = 1; seed <= 8; ++seed) {
-    Rng rng(seed);
-    Matrix a0 = rng.NormalMatrix(3, 4, 0.0, 0.5);
-    Matrix b0 = rng.NormalMatrix(4, 2, 0.0, 0.5);
-    auto build = [&](Tape& t, const Matrix& av, const Matrix& bv,
-                     bool leaf_a) {
-      Var a = leaf_a ? t.Leaf(av) : t.Constant(av);
-      Var b = leaf_a ? t.Constant(bv) : t.Leaf(bv);
-      Var h = Tanh(MatMul(a, b));
-      Var g = Sigmoid(MatMul(a, b));
-      return std::make_tuple(a, b, Mean(Square(Sub(h, MulScalar(g, 0.7)))));
-    };
-    {
-      Tape tape;
-      auto [a, b, loss] = build(tape, a0, b0, true);
-      tape.Backward(loss);
-      Matrix ga = a.grad();
-      auto f = [&](const Matrix& av) {
-        Tape t2;
-        auto [a2, b2, l2] = build(t2, av, b0, true);
-        return l2.value()(0, 0);
-      };
-      EXPECT_LT(MaxGradError(f, a0, ga, 1e-5), 5e-5);
-    }
-    {
-      Tape tape;
-      auto [a, b, loss] = build(tape, a0, b0, false);
-      tape.Backward(loss);
-      Matrix gb = b.grad();
-      auto f = [&](const Matrix& bv) {
-        Tape t2;
-        auto [a2, b2, l2] = build(t2, a0, bv, false);
-        return l2.value()(0, 0);
-      };
-      EXPECT_LT(MaxGradError(f, b0, gb, 1e-5), 5e-5);
-    }
+TEST(AutodiffFuzzTest, RegressionCorpusReplays) {
+  const std::vector<uint64_t> seeds =
+      LoadSeedCorpus(std::string(SCIS_TEST_CORPUS_DIR) +
+                     "/autodiff_fuzz_seeds.txt");
+  ASSERT_FALSE(seeds.empty()) << "corpus file missing or empty";
+  for (const uint64_t seed : seeds) {
+    const testkit::PropertyStatus status = AutodiffChainProperty(seed);
+    EXPECT_TRUE(status.ok)
+        << "corpus seed " << seed << " regressed: " << status.message;
   }
 }
 

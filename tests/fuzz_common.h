@@ -1,0 +1,107 @@
+// Shared fuzz properties: the random autodiff op-chain gradient check used
+// by both the tier-1 suite (tests/autodiff_fuzz_test.cc, which also replays
+// the checked-in corpus) and the long nightly runs. Lives in tests/ — it is
+// test scaffolding, not part of scis_testkit.
+#ifndef SCIS_TESTS_FUZZ_COMMON_H_
+#define SCIS_TESTS_FUZZ_COMMON_H_
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "autodiff/grad_check.h"
+#include "autodiff/tape.h"
+#include "tensor/rng.h"
+#include "testkit/property.h"
+
+namespace scis {
+
+// Random chain of smooth ops applied to a leaf; returns a scalar.
+// Avoids relu (kinks break finite differences) and keeps values in a range
+// where exp/log are well-conditioned.
+inline Var RandomChain(Tape& /*tape*/, Var x, uint64_t seed, int depth) {
+  Rng rng(seed);
+  Var h = Sigmoid(x);  // map into (0,1) first
+  Var shared = h;      // reused later to exercise grad accumulation
+  for (int step = 0; step < depth; ++step) {
+    switch (rng.UniformIndex(8)) {
+      case 0:
+        h = Tanh(MulScalar(h, rng.Uniform(0.5, 2.0)));
+        break;
+      case 1:
+        h = Sigmoid(AddScalar(h, rng.Uniform(-1.0, 1.0)));
+        break;
+      case 2:
+        h = Softplus(h);
+        break;
+      case 3:
+        h = Square(h);
+        break;
+      case 4:
+        h = Log(AddScalar(h, 1.5));  // argument stays >= ~0.5
+        break;
+      case 5:
+        h = Exp(MulScalar(h, 0.5));
+        break;
+      case 6:
+        h = Mul(h, shared);  // reuse an earlier node
+        break;
+      case 7:
+        h = Add(h, MulScalar(shared, -0.3));
+        break;
+    }
+  }
+  return Mean(Square(h));
+}
+
+// One fuzz trial: build a seed-derived chain over a random leaf shape and
+// check the tape gradient against central differences.
+inline testkit::PropertyStatus AutodiffChainProperty(uint64_t seed) {
+  Rng rng(seed * 31 + 7);
+  const size_t n = 2 + rng.UniformIndex(4);
+  const size_t d = 1 + rng.UniformIndex(5);
+  const Matrix x0 = rng.NormalMatrix(n, d, 0.0, 0.8);
+  const int depth = 3 + static_cast<int>(seed % 5);
+
+  Tape tape;
+  Var x = tape.Leaf(x0);
+  Var loss = RandomChain(tape, x, seed, depth);
+  tape.Backward(loss);
+  const Matrix analytic = x.grad();
+
+  auto f = [&](const Matrix& xv) {
+    Tape t2;
+    Var x2 = t2.Leaf(xv);
+    return RandomChain(t2, x2, seed, depth).value()(0, 0);
+  };
+  // Exp/Square chains can push gradients to ~1e5, where the O(h²)
+  // central-difference truncation error dominates any absolute bound —
+  // so the tolerance is relative to the gradient's own scale.
+  double scale = 1.0;
+  for (size_t k = 0; k < analytic.size(); ++k) {
+    scale = std::max(scale, std::abs(analytic[k]));
+  }
+  const double err = MaxGradError(f, x0, analytic, 1e-5);
+  PROP_CHECK_LE(err / scale, 5e-5);
+  return testkit::PropertyStatus::Pass();
+}
+
+// Seeds from a corpus file: one decimal u64 per line, '#' comments and
+// blank lines skipped. Missing file -> empty list (the caller asserts).
+inline std::vector<uint64_t> LoadSeedCorpus(const std::string& path) {
+  std::vector<uint64_t> seeds;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    seeds.push_back(std::stoull(line.substr(start)));
+  }
+  return seeds;
+}
+
+}  // namespace scis
+
+#endif  // SCIS_TESTS_FUZZ_COMMON_H_

@@ -1,0 +1,146 @@
+// SSE curvature probe against the dense Gauss–Newton oracle. The
+// production probe (sse.cc Prepare) is a Hutchinson estimator — unbiased
+// for diag(JᵀJ) but with variance O(1/#probes) — so the comparisons here
+// use many probe batches over the full dataset and statistical tolerances,
+// while everything stays deterministic from the fixed seeds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/sse.h"
+#include "data/dataset.h"
+#include "testkit/generators.h"
+#include "testkit/models.h"
+#include "testkit/oracles.h"
+
+namespace scis {
+namespace {
+
+Dataset TinyData(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  Matrix values = rng.UniformMatrix(n, d, 0.0, 1.0);
+  Matrix mask = testkit::GenMask(rng, values, testkit::MaskMechanism::kMcar,
+                                 0.25);
+  for (size_t k = 0; k < values.size(); ++k) {
+    if (mask[k] == 0.0) values[k] = 0.0;
+  }
+  return Dataset("tiny", std::move(values), std::move(mask),
+                 NumericColumns(d));
+}
+
+// Mean relative error between the probe and the oracle diagonal, ignoring
+// entries the production ridge floor overrides.
+double MeanRelError(const std::vector<double>& probe,
+                    const std::vector<double>& oracle, double floor) {
+  double err = 0.0;
+  size_t counted = 0;
+  for (size_t i = 0; i < probe.size(); ++i) {
+    if (oracle[i] <= floor) continue;
+    err += std::abs(probe[i] - oracle[i]) / oracle[i];
+    ++counted;
+  }
+  return counted ? err / static_cast<double>(counted) : 0.0;
+}
+
+TEST(SseOracleTest, HutchinsonDiagMatchesDenseGaussNewton) {
+  const size_t d = 3;
+  const Dataset data = TinyData(24, d, 11);
+  testkit::TinyMlpModel model(testkit::TinyMlpModel::DefaultConfig(d, 5), d);
+  ASSERT_TRUE(model.Fit(data).ok());
+
+  SseOptions opts;
+  opts.curvature_batches = 512;  // Hutchinson std ≈ sqrt(2/512) ≈ 6%
+  opts.curvature_batch_size = data.num_rows();
+  opts.seed = 99;
+  SseEstimator estimator(opts);
+  ASSERT_TRUE(estimator.Prepare(model, data).ok());
+
+  const std::vector<double> oracle =
+      testkit::DenseGaussNewtonDiag(model, data);
+  ASSERT_EQ(estimator.h_diag().size(), oracle.size());
+
+  double mean_oracle = 0.0;
+  for (double v : oracle) mean_oracle += v;
+  mean_oracle /= static_cast<double>(oracle.size());
+  const double floor = std::max(mean_oracle * 1e-3, 1e-12);
+  // Per-entry agreement within the probe's statistical error (a few σ).
+  const double err = MeanRelError(estimator.h_diag(), oracle, floor);
+  EXPECT_LT(err, 0.15) << "Hutchinson diagonal drifted from the dense "
+                          "Gauss-Newton oracle (mean rel err "
+                       << err << ")";
+}
+
+TEST(SseOracleTest, FullGaussNewtonFactorMatchesDenseOracle) {
+  const size_t d = 2;
+  const Dataset data = TinyData(16, d, 23);
+  testkit::TinyMlpModel model(testkit::TinyMlpModel::DefaultConfig(d, 7), d);
+  ASSERT_TRUE(model.Fit(data).ok());
+
+  SseOptions opts;
+  opts.full_gauss_newton = true;
+  opts.curvature_batches = 768;
+  opts.curvature_batch_size = data.num_rows();
+  opts.seed = 101;
+  SseEstimator estimator(opts);
+  ASSERT_TRUE(estimator.Prepare(model, data).ok());
+
+  const Matrix& chol = estimator.h_chol();
+  ASSERT_FALSE(chol.empty());
+  const size_t p = chol.rows();
+  const Matrix oracle = testkit::DenseGaussNewton(model, data);
+  ASSERT_EQ(oracle.rows(), p);
+
+  // Reconstruct H = LLᵀ from the factor and compare entrywise against the
+  // dense oracle, in units of the oracle's diagonal scale.
+  double scale = 0.0;
+  for (size_t i = 0; i < p; ++i) scale = std::max(scale, oracle(i, i));
+  ASSERT_GT(scale, 0.0);
+  double max_err = 0.0;
+  for (size_t i = 0; i < p; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double h_ij = 0.0;
+      for (size_t k = 0; k <= j; ++k) h_ij += chol(i, k) * chol(j, k);
+      max_err = std::max(max_err, std::abs(h_ij - oracle(i, j)) / scale);
+    }
+  }
+  EXPECT_LT(max_err, 0.2) << "probed full Gauss-Newton matrix drifted from "
+                             "the dense oracle";
+}
+
+TEST(SseOracleTest, MinimumSizeIsNonIncreasingInEpsilon) {
+  const size_t d = 2;
+  const Dataset data = TinyData(32, d, 31);
+  const Dataset validation = TinyData(16, d, 37);
+  testkit::TinyMlpModel model(testkit::TinyMlpModel::DefaultConfig(d, 3), d);
+  ASSERT_TRUE(model.Fit(data).ok());
+
+  for (const uint64_t seed : {7ULL, 19ULL, 29ULL}) {
+    size_t prev = 0;
+    bool first = true;
+    for (const double epsilon : {0.003, 0.01, 0.05}) {
+      SseOptions opts;
+      opts.epsilon = epsilon;
+      opts.lambda = 10.0;
+      opts.curvature_batches = 8;
+      opts.curvature_batch_size = data.num_rows();
+      opts.k = 10;
+      opts.seed = seed;
+      SseEstimator estimator(opts);
+      ASSERT_TRUE(estimator.Prepare(model, data).ok());
+      Result<SseResult> r = estimator.EstimateMinimumSize(
+          model, /*data_size=*/4096, validation, /*n0=*/32);
+      ASSERT_TRUE(r.ok()) << r.status().message();
+      if (!first) {
+        EXPECT_LE(r.value().n_star, prev)
+            << "n* grew when the tolerated error grew (seed " << seed
+            << ", eps " << epsilon << ")";
+      }
+      prev = r.value().n_star;
+      first = false;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scis
