@@ -1,0 +1,135 @@
+// serve_latency — micro-batching latency/throughput bench for src/serve.
+//
+//   serve_latency [--rows 2000] [--cols 9] [--clients 8] [--threads 0]
+//                 [--max_wait_ms 2] [--trace-out t.json] [--report-out r.json]
+//
+// Drives a BatchQueue (no sockets — this isolates the batching layer) with
+// concurrent single-row clients at max_batch_rows 1, 8, and 64, and reports
+// p50/p99 request latency and rows/s for each setting: the
+// latency-vs-throughput trade-off the max_batch_rows knob controls.
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "serve/batch_queue.h"
+#include "serve/engine.h"
+#include "tensor/rng.h"
+
+using namespace scis;
+
+namespace {
+
+// A GAIN-shaped checkpoint with random weights; latency does not care that
+// the model is untrained.
+Checkpoint MakeCheckpoint(size_t d, uint64_t seed) {
+  Rng rng(seed);
+  Checkpoint ckpt;
+  ckpt.version = 2;
+  ckpt.meta.model = "GAIN";
+  for (size_t j = 0; j < d; ++j) {
+    ckpt.meta.columns.push_back({"c" + std::to_string(j), 0, 0});
+    ckpt.meta.norm_lo.push_back(0.0);
+    ckpt.meta.norm_hi.push_back(1.0);
+  }
+  ckpt.params.push_back({"g.l0.W", rng.NormalMatrix(2 * d, d, 0.0, 0.5)});
+  ckpt.params.push_back({"g.l0.b", rng.NormalMatrix(1, d, 0.0, 0.1)});
+  ckpt.params.push_back({"g.l1.W", rng.NormalMatrix(d, d, 0.0, 0.5)});
+  ckpt.params.push_back({"g.l1.b", rng.NormalMatrix(1, d, 0.0, 0.1)});
+  return ckpt;
+}
+
+double Percentile(std::vector<double> ms, double p) {
+  std::sort(ms.begin(), ms.end());
+  const size_t at = static_cast<size_t>(p * static_cast<double>(ms.size() - 1));
+  return ms[at];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long rows = 2000, cols = 9, clients = 8, threads = 0;
+  double max_wait_ms = 2.0;
+  FlagParser flags;
+  flags.AddInt("rows", &rows, "single-row requests per batch-size setting");
+  flags.AddInt("cols", &cols, "model width (columns)");
+  flags.AddInt("clients", &clients, "concurrent client threads");
+  flags.AddDouble("max_wait_ms", &max_wait_ms, "micro-batch flush deadline");
+  bench::AddThreadsFlag(flags, &threads);
+  bench::ObsSession obs("serve_latency");
+  obs.AddFlags(flags);
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::printf("%s\n", st.ToString().c_str());
+    return st.code() == StatusCode::kOutOfRange ? 0 : 1;
+  }
+  bench::ApplyThreadsFlag(threads);
+  obs.Start();
+  obs.report().AddConfig("rows", static_cast<int64_t>(rows));
+  obs.report().AddConfig("cols", static_cast<int64_t>(cols));
+  obs.report().AddConfig("clients", static_cast<int64_t>(clients));
+  obs.report().AddConfig("max_wait_ms", max_wait_ms);
+  obs.report().AddConfig("threads", static_cast<int64_t>(threads));
+
+  const size_t d = static_cast<size_t>(cols);
+  Result<std::shared_ptr<const serve::ImputationEngine>> engine =
+      serve::ImputationEngine::FromCheckpoint(MakeCheckpoint(d, 17));
+  SCIS_CHECK_MSG(engine.ok(), "engine build failed");
+
+  // One pre-generated request per row so the clients measure serving only.
+  Rng rng(23);
+  std::vector<Matrix> requests;
+  for (long long i = 0; i < rows; ++i) {
+    Matrix r(1, d);
+    for (size_t j = 0; j < d; ++j) {
+      r(0, j) = rng.Bernoulli(0.3)
+                    ? std::numeric_limits<double>::quiet_NaN()
+                    : rng.Uniform();
+    }
+    requests.push_back(std::move(r));
+  }
+
+  std::printf("serve_latency: %lld single-row requests, %lld clients, "
+              "d=%zu, max_wait=%.2gms\n\n",
+              rows, clients, d, max_wait_ms);
+  std::printf("%-16s %12s %12s %12s\n", "max_batch_rows", "p50 ms", "p99 ms",
+              "rows/s");
+  for (size_t batch_rows : {1u, 8u, 64u}) {
+    serve::BatchQueueOptions qopts;
+    qopts.max_batch_rows = batch_rows;
+    qopts.max_wait_ms = max_wait_ms;
+    qopts.max_queue_rows = 1u << 16;
+    serve::BatchQueue queue(*engine, qopts);
+
+    std::vector<double> latency_ms(static_cast<size_t>(rows), 0.0);
+    std::atomic<size_t> next{0};
+    Stopwatch watch;
+    std::vector<std::thread> pool;
+    for (long long c = 0; c < clients; ++c) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const size_t i = next.fetch_add(1);
+          if (i >= requests.size()) return;
+          Stopwatch req_watch;
+          Result<Matrix> out = queue.Impute(requests[i]);
+          SCIS_CHECK_MSG(out.ok(), "request failed");
+          latency_ms[i] = req_watch.ElapsedSeconds() * 1e3;
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    const double seconds = watch.ElapsedSeconds();
+    queue.Shutdown();
+
+    const double p50 = Percentile(latency_ms, 0.50);
+    const double p99 = Percentile(latency_ms, 0.99);
+    const double rate = static_cast<double>(rows) / seconds;
+    std::printf("%-16zu %12.3f %12.3f %12.0f\n", batch_rows, p50, p99, rate);
+    const std::string section = "batch_" + std::to_string(batch_rows);
+    obs.report().AddSectionValue(section, "p50_ms", p50);
+    obs.report().AddSectionValue(section, "p99_ms", p99);
+    obs.report().AddSectionValue(section, "rows_per_s", rate);
+    obs.report().AddPhase(section, seconds);
+  }
+  return obs.Finish();
+}

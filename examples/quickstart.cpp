@@ -5,8 +5,10 @@
 //   (DIM + SSE) -> impute -> score against held-out ground truth.
 //
 // Build & run:  cmake --build build && ./build/examples/quickstart
+//               ./build/examples/quickstart --threads 4
 #include <cstdio>
 
+#include "common/flags.h"
 #include "core/scis.h"
 #include "data/covid_synth.h"
 #include "data/missingness.h"
@@ -14,10 +16,21 @@
 #include "eval/metrics.h"
 #include "models/gain_imputer.h"
 #include "models/mean_imputer.h"
+#include "runtime/runtime.h"
 
 using namespace scis;
 
-int main() {
+int main(int argc, char** argv) {
+  long long threads = 0;
+  FlagParser flags;
+  flags.AddInt("threads", &threads,
+               "worker threads (0 = SCIS_NUM_THREADS or hardware)");
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::printf("%s\n", st.ToString().c_str());
+    return st.code() == StatusCode::kOutOfRange ? 0 : 1;
+  }
+  if (threads > 0) runtime::SetNumThreads(static_cast<int>(threads));
+
   // 1. An incomplete dataset. Here: a synthetic stand-in for the paper's
   //    COVID-19 "Trial" table (6,433 rows x 9 features, ~9.6% missing),
   //    scaled down so the example runs in seconds.

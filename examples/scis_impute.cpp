@@ -3,12 +3,15 @@
 //   scis_impute --input data.csv --output imputed.csv \
 //               [--method SCIS-GAIN|GAIN|GINN|MICE|MissF|...] \
 //               [--epochs 30] [--epsilon 0.001] [--n0 500] [--seed 7] \
-//               [--save_params model.txt]
+//               [--threads 0] [--save_params model.ckpt]
 //
 // Missing cells are empty fields / NA / nan / null. The pipeline is the
 // library's canonical one: min-max normalize on observed cells, fit the
 // chosen imputer (SCIS-accelerated for the GAN methods), apply Eq. 1, and
 // write the completed table back in original units.
+//
+// --save_params writes a self-contained v2 checkpoint (generator weights +
+// normalizer stats + column schema) that scis_serve can load directly.
 #include <cstdio>
 
 #include "common/flags.h"
@@ -19,8 +22,31 @@
 #include "eval/experiment.h"
 #include "nn/serialize.h"
 #include "models/gain_imputer.h"
+#include "runtime/runtime.h"
 
 using namespace scis;
+
+namespace {
+
+// Packages everything serving needs alongside the weights: the model tag,
+// the column schema, and the normalizer stats fitted on this input.
+CheckpointMeta MakeMeta(const std::string& model, const Dataset& raw,
+                        const MinMaxNormalizer& norm) {
+  CheckpointMeta meta;
+  meta.model = model;
+  for (const ColumnMeta& c : raw.columns()) {
+    CheckpointColumn col;
+    col.name = c.name;
+    col.kind = static_cast<int>(c.kind);
+    col.num_categories = c.num_categories;
+    meta.columns.push_back(std::move(col));
+  }
+  meta.norm_lo = norm.lo();
+  meta.norm_hi = norm.hi();
+  return meta;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string input, output, method = "SCIS-GAIN", save_params;
@@ -28,6 +54,7 @@ int main(int argc, char** argv) {
   long long n0 = 500;
   double epsilon = 0.001;
   long long seed = 7;
+  long long threads = 0;
   FlagParser flags;
   flags.AddString("input", &input, "incomplete CSV (header row required)");
   flags.AddString("output", &output, "where to write the imputed CSV");
@@ -37,12 +64,15 @@ int main(int argc, char** argv) {
   flags.AddInt("n0", &n0, "SCIS initial sample size");
   flags.AddDouble("epsilon", &epsilon, "SCIS user-tolerated error bound");
   flags.AddInt("seed", &seed, "random seed");
+  flags.AddInt("threads", &threads,
+               "worker threads (0 = SCIS_NUM_THREADS or hardware)");
   flags.AddString("save_params", &save_params,
                   "optional path to checkpoint the trained generator");
   if (Status st = flags.Parse(argc, argv); !st.ok()) {
     std::printf("%s\n", st.ToString().c_str());
     return st.code() == StatusCode::kOutOfRange ? 0 : 1;
   }
+  if (threads > 0) runtime::SetNumThreads(static_cast<int>(threads));
   if (input.empty() || output.empty()) {
     std::printf("--input and --output are required (see --help)\n");
     return 1;
@@ -95,7 +125,8 @@ int main(int argc, char** argv) {
                 100.0 * scis.report().training_sample_rate,
                 scis.report().sse_seconds, scis.report().total_seconds);
     if (!save_params.empty()) {
-      Status st = SaveParams(gen->generator_params(), save_params);
+      Status st = SaveCheckpoint(gen->generator_params(),
+                                 MakeMeta(base, raw, norm), save_params);
       std::printf("checkpoint %s: %s\n", save_params.c_str(),
                   st.ToString().c_str());
     }
@@ -112,6 +143,21 @@ int main(int argc, char** argv) {
       return 1;
     }
     imputed_norm = (*imp)->Impute(train);
+    if (!save_params.empty()) {
+      // Only generator-backed baselines (GAIN, GINN) carry parameters a
+      // checkpoint can capture.
+      auto* gen = dynamic_cast<GenerativeImputer*>(imp->get());
+      if (gen == nullptr) {
+        std::printf("checkpoint %s: skipped (%s has no generator)\n",
+                    save_params.c_str(), method.c_str());
+      } else {
+        Status st = SaveCheckpoint(gen->generator_params(),
+                                   MakeMeta(gen->name(), raw, norm),
+                                   save_params);
+        std::printf("checkpoint %s: %s\n", save_params.c_str(),
+                    st.ToString().c_str());
+      }
+    }
   }
   std::printf("imputation took %.2fs\n", watch.ElapsedSeconds());
 

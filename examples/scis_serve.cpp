@@ -1,0 +1,130 @@
+// scis_serve — online imputation server.
+//
+//   scis_serve --params model.ckpt [--host 127.0.0.1] [--port 0] \
+//              [--port_file serve.port] [--threads 0] \
+//              [--max_batch_rows 64] [--max_wait_ms 2] \
+//              [--max_queue_rows 1024] [--request_timeout_ms 0] \
+//              [--report-out report.json]
+//
+// Loads a self-contained v2 checkpoint (write one with
+// scis_impute --save_params), then serves imputation requests over the
+// length-prefixed binary wire protocol until SIGINT/SIGTERM or a client
+// sends --shutdown. Concurrent requests are coalesced into micro-batches;
+// results are bit-identical to the offline Imputer on the same rows.
+//
+// --port 0 binds an ephemeral port; --port_file publishes the assigned port
+// for scripts (the CI loopback smoke test uses this).
+#include <csignal>
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/stopwatch.h"
+#include "obs/run_report.h"
+#include "runtime/runtime.h"
+#include "serve/server.h"
+
+using namespace scis;
+
+namespace {
+
+serve::ImputationServer* g_server = nullptr;
+
+void HandleSignal(int) {
+  if (g_server != nullptr) g_server->Shutdown();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string params, host = "127.0.0.1", port_file, report_out;
+  long long port = 0;
+  long long threads = 0;
+  long long max_batch_rows = 64;
+  long long max_queue_rows = 1024;
+  double max_wait_ms = 2.0;
+  double request_timeout_ms = 0.0;
+  FlagParser flags;
+  flags.AddString("params", &params, "v2 checkpoint from --save_params");
+  flags.AddString("host", &host, "bind address (dotted quad)");
+  flags.AddInt("port", &port, "TCP port (0 = ephemeral)");
+  flags.AddString("port_file", &port_file,
+                  "write the bound port here once listening");
+  flags.AddInt("threads", &threads,
+               "worker threads (0 = SCIS_NUM_THREADS or hardware)");
+  flags.AddInt("max_batch_rows", &max_batch_rows,
+               "flush a micro-batch at this many rows");
+  flags.AddInt("max_queue_rows", &max_queue_rows,
+               "admission bound; beyond it requests are rejected");
+  flags.AddDouble("max_wait_ms", &max_wait_ms,
+                  "flush deadline from the oldest queued request");
+  flags.AddDouble("request_timeout_ms", &request_timeout_ms,
+                  "fail requests queued longer than this (0 = off)");
+  flags.AddString("report-out", &report_out,
+                  "write a JSON run report on shutdown");
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::printf("%s\n", st.ToString().c_str());
+    return st.code() == StatusCode::kOutOfRange ? 0 : 1;
+  }
+  if (params.empty()) {
+    std::printf("--params is required (see --help)\n");
+    return 1;
+  }
+  if (threads > 0) runtime::SetNumThreads(static_cast<int>(threads));
+
+  Result<std::shared_ptr<const serve::ImputationEngine>> engine =
+      serve::ImputationEngine::Load(params);
+  if (!engine.ok()) {
+    std::printf("load %s: %s\n", params.c_str(),
+                engine.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %s: %s generator, %zu columns\n", params.c_str(),
+              (*engine)->model().c_str(), (*engine)->num_cols());
+
+  serve::ServerOptions opts;
+  opts.host = host;
+  opts.port = static_cast<int>(port);
+  opts.queue.max_batch_rows = static_cast<size_t>(max_batch_rows);
+  opts.queue.max_queue_rows = static_cast<size_t>(max_queue_rows);
+  opts.queue.max_wait_ms = max_wait_ms;
+  opts.queue.request_timeout_ms = request_timeout_ms;
+  serve::ImputationServer server(*engine, opts);
+  if (Status st = server.Start(); !st.ok()) {
+    std::printf("start: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving on %s:%d\n", host.c_str(), server.port());
+  if (!port_file.empty()) {
+    FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("cannot write %s\n", port_file.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%d\n", server.port());
+    std::fclose(f);
+  }
+
+  g_server = &server;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  Stopwatch watch;
+  server.Wait();
+  g_server = nullptr;
+
+  if (!report_out.empty()) {
+    obs::RunReport report("scis_serve");
+    report.AddConfig("params", params);
+    report.AddConfig("max_batch_rows", static_cast<int64_t>(max_batch_rows));
+    report.AddConfig("max_queue_rows", static_cast<int64_t>(max_queue_rows));
+    report.AddConfig("max_wait_ms", max_wait_ms);
+    report.AddConfig("request_timeout_ms", request_timeout_ms);
+    report.AddConfig("threads", static_cast<int64_t>(threads));
+    report.AddPhase("serving", watch.ElapsedSeconds());
+    if (Status st = report.Write(report_out); !st.ok()) {
+      std::printf("report %s: %s\n", report_out.c_str(),
+                  st.ToString().c_str());
+    }
+  }
+  return 0;
+}

@@ -17,6 +17,32 @@ case "$MODE" in
     cmake --preset default >/dev/null
     cmake --build --preset default -j "$JOBS"
     ctest --preset tier1 -j "$JOBS"
+
+    # Serving loopback smoke test: train a tiny model, save a v2 checkpoint,
+    # serve it over TCP, impute through scis_client, and require the served
+    # CSV to be byte-identical to the offline scis_impute output.
+    SMOKE="$(mktemp -d)"
+    trap 'rm -rf "$SMOKE"' EXIT
+    ./build/examples/scis_datagen --dataset Trial --scale 0.005 \
+      --output "$SMOKE/tiny.csv" >/dev/null
+    ./build/examples/scis_impute --input "$SMOKE/tiny.csv" \
+      --output "$SMOKE/offline.csv" --method SCIS-GAIN --epochs 2 --n0 32 \
+      --seed 3 --save_params "$SMOKE/model.ckpt" >/dev/null
+    ./build/examples/scis_serve --params "$SMOKE/model.ckpt" --port 0 \
+      --port_file "$SMOKE/serve.port" &
+    SERVE_PID=$!
+    for _ in $(seq 50); do
+      [ -s "$SMOKE/serve.port" ] && break
+      sleep 0.1
+    done
+    ./build/examples/scis_client --port_file "$SMOKE/serve.port" --ping \
+      --input "$SMOKE/tiny.csv" --output "$SMOKE/served.csv" \
+      --rows_per_request 3 >/dev/null
+    ./build/examples/scis_client --port_file "$SMOKE/serve.port" \
+      --shutdown >/dev/null
+    wait "$SERVE_PID"
+    cmp "$SMOKE/offline.csv" "$SMOKE/served.csv"
+    echo "serve loopback smoke: OK (served == offline, bit-identical)"
     ;;
   nightly)
     # High iteration counts: the nightly executable scales its property

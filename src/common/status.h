@@ -20,6 +20,11 @@ enum class StatusCode {
   kIoError,
   kNotImplemented,
   kInternal,
+  // Serving: admission control (queue full / shutting down) and per-request
+  // deadline expiry. Appended so existing numeric values stay stable — the
+  // serve wire protocol transmits codes as integers.
+  kUnavailable,
+  kDeadlineExceeded,
 };
 
 // Returns a short human-readable name for `code` ("OK", "Invalid argument"...).
@@ -52,6 +57,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return state_ == nullptr; }

@@ -29,6 +29,24 @@ void MinMaxNormalizer::Fit(const Dataset& data) {
   }
 }
 
+Result<MinMaxNormalizer> MinMaxNormalizer::FromStats(std::vector<double> lo,
+                                                     std::vector<double> hi) {
+  if (lo.empty() || lo.size() != hi.size()) {
+    return Status::InvalidArgument("normalizer stats size mismatch");
+  }
+  for (size_t j = 0; j < lo.size(); ++j) {
+    if (!std::isfinite(lo[j]) || !std::isfinite(hi[j]) || hi[j] <= lo[j]) {
+      return Status::InvalidArgument(
+          "normalizer stats invalid at column " + std::to_string(j) +
+          ": need finite hi > lo");
+    }
+  }
+  MinMaxNormalizer norm;
+  norm.lo_ = std::move(lo);
+  norm.hi_ = std::move(hi);
+  return norm;
+}
+
 Dataset MinMaxNormalizer::Transform(const Dataset& data) const {
   SCIS_CHECK_MSG(fitted(), "normalizer not fitted");
   SCIS_CHECK_EQ(data.num_cols(), lo_.size());

@@ -16,6 +16,13 @@ class MinMaxNormalizer {
   // Computes per-column observed min/max; constant columns map to 0.
   void Fit(const Dataset& data);
 
+  // Rebuilds a fitted normalizer from previously persisted stats (the
+  // serving path: checkpoints store lo/hi so a loaded model can normalize
+  // and denormalize new rows). Requires matching sizes, finite values, and
+  // hi > lo per column — the invariants Fit() establishes.
+  static Result<MinMaxNormalizer> FromStats(std::vector<double> lo,
+                                            std::vector<double> hi);
+
   bool fitted() const { return !lo_.empty(); }
 
   // Maps observed entries into [0,1]; missing cells stay 0.

@@ -1,15 +1,14 @@
 #include "nn/serialize.h"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
+#include <sstream>
 
 namespace scis {
+namespace {
 
-Status SaveParams(const ParamStore& store, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
-  out << "scis-params v1\n" << store.size() << "\n";
-  out << std::setprecision(17);
+void WriteParamBlock(std::ofstream& out, const ParamStore& store) {
   for (size_t id = 0; id < store.size(); ++id) {
     const Matrix& m = store.value(id);
     out << store.name(id) << " " << m.rows() << " " << m.cols() << "\n";
@@ -19,43 +18,163 @@ Status SaveParams(const ParamStore& store, const std::string& path) {
     }
     out << "\n";
   }
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::OK();
 }
 
-Status LoadParams(ParamStore& store, const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open " + path);
-  std::string magic, version;
-  in >> magic >> version;
-  if (magic != "scis-params" || version != "v1") {
-    return Status::InvalidArgument("not a scis-params v1 file: " + path);
-  }
-  size_t count = 0;
-  in >> count;
-  if (count != store.size()) {
-    return Status::InvalidArgument(
-        "parameter count mismatch: file has " + std::to_string(count) +
-        ", store has " + std::to_string(store.size()));
-  }
+Status ReadParamBlock(std::ifstream& in, size_t count,
+                      const std::string& path,
+                      std::vector<NamedParam>* params) {
+  params->reserve(count);
   for (size_t id = 0; id < count; ++id) {
     std::string name;
     size_t rows = 0, cols = 0;
     in >> name >> rows >> cols;
     if (!in) return Status::IoError("truncated header in " + path);
-    if (name != store.name(id)) {
+    Matrix m(rows, cols);
+    for (size_t k = 0; k < m.size(); ++k) in >> m[k];
+    if (!in) return Status::IoError("truncated values in " + path);
+    params->push_back({std::move(name), std::move(m)});
+  }
+  return Status::OK();
+}
+
+// Expects the literal keyword next in the stream; any other token means a
+// malformed (or hand-edited) file.
+Status ExpectKeyword(std::ifstream& in, const char* keyword,
+                     const std::string& path) {
+  std::string tok;
+  in >> tok;
+  if (!in || tok != keyword) {
+    return Status::InvalidArgument("expected '" + std::string(keyword) +
+                                   "' section in " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveParams(const ParamStore& store, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << "scis-params v1\n" << store.size() << "\n";
+  out << std::setprecision(17);
+  WriteParamBlock(out, store);
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Status SaveCheckpoint(const ParamStore& store, const CheckpointMeta& meta,
+                      const std::string& path) {
+  if (meta.model.empty()) {
+    return Status::InvalidArgument("checkpoint meta needs a model tag");
+  }
+  if (meta.columns.empty() || meta.norm_lo.size() != meta.columns.size() ||
+      meta.norm_hi.size() != meta.columns.size()) {
+    return Status::InvalidArgument(
+        "checkpoint meta columns/normalizer sizes disagree");
+  }
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << "scis-params v2\n";
+  out << "model " << meta.model << "\n";
+  out << "columns " << meta.columns.size() << "\n";
+  for (const CheckpointColumn& c : meta.columns) {
+    out << c.kind << " " << c.num_categories << " " << c.name << "\n";
+  }
+  out << std::setprecision(17);
+  out << "normalizer " << meta.columns.size() << "\n";
+  for (size_t j = 0; j < meta.norm_lo.size(); ++j) {
+    if (j) out << ' ';
+    out << meta.norm_lo[j];
+  }
+  out << "\n";
+  for (size_t j = 0; j < meta.norm_hi.size(); ++j) {
+    if (j) out << ' ';
+    out << meta.norm_hi[j];
+  }
+  out << "\n";
+  out << "params " << store.size() << "\n";
+  WriteParamBlock(out, store);
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Checkpoint> LoadCheckpoint(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::string magic, version;
+  in >> magic >> version;
+  if (!in || magic != "scis-params" ||
+      (version != "v1" && version != "v2")) {
+    return Status::InvalidArgument("not a scis-params v1/v2 file: " + path);
+  }
+  Checkpoint ckpt;
+  if (version == "v1") {
+    ckpt.version = 1;
+    size_t count = 0;
+    in >> count;
+    if (!in) return Status::IoError("truncated header in " + path);
+    SCIS_RETURN_NOT_OK(ReadParamBlock(in, count, path, &ckpt.params));
+    return ckpt;
+  }
+  ckpt.version = 2;
+  SCIS_RETURN_NOT_OK(ExpectKeyword(in, "model", path));
+  in >> ckpt.meta.model;
+  if (!in) return Status::IoError("truncated model tag in " + path);
+  SCIS_RETURN_NOT_OK(ExpectKeyword(in, "columns", path));
+  size_t d = 0;
+  in >> d;
+  if (!in || d == 0) {
+    return Status::InvalidArgument("bad column count in " + path);
+  }
+  ckpt.meta.columns.resize(d);
+  for (size_t j = 0; j < d; ++j) {
+    CheckpointColumn& c = ckpt.meta.columns[j];
+    in >> c.kind >> c.num_categories;
+    if (!in) return Status::IoError("truncated column schema in " + path);
+    // The name is the rest of the line (CSV headers may contain spaces).
+    std::getline(in, c.name);
+    if (!c.name.empty() && c.name.front() == ' ') c.name.erase(0, 1);
+  }
+  SCIS_RETURN_NOT_OK(ExpectKeyword(in, "normalizer", path));
+  size_t nd = 0;
+  in >> nd;
+  if (!in || nd != d) {
+    return Status::InvalidArgument("normalizer size disagrees with columns in " +
+                                   path);
+  }
+  ckpt.meta.norm_lo.resize(d);
+  ckpt.meta.norm_hi.resize(d);
+  for (size_t j = 0; j < d; ++j) in >> ckpt.meta.norm_lo[j];
+  for (size_t j = 0; j < d; ++j) in >> ckpt.meta.norm_hi[j];
+  if (!in) return Status::IoError("truncated normalizer stats in " + path);
+  SCIS_RETURN_NOT_OK(ExpectKeyword(in, "params", path));
+  size_t count = 0;
+  in >> count;
+  if (!in) return Status::IoError("truncated params header in " + path);
+  SCIS_RETURN_NOT_OK(ReadParamBlock(in, count, path, &ckpt.params));
+  return ckpt;
+}
+
+Status LoadParams(ParamStore& store, const std::string& path) {
+  SCIS_ASSIGN_OR_RETURN(Checkpoint ckpt, LoadCheckpoint(path));
+  if (ckpt.params.size() != store.size()) {
+    return Status::InvalidArgument(
+        "parameter count mismatch: file has " +
+        std::to_string(ckpt.params.size()) + ", store has " +
+        std::to_string(store.size()));
+  }
+  for (size_t id = 0; id < ckpt.params.size(); ++id) {
+    const NamedParam& p = ckpt.params[id];
+    if (p.name != store.name(id)) {
       return Status::InvalidArgument("parameter name mismatch at index " +
-                                     std::to_string(id) + ": file '" + name +
+                                     std::to_string(id) + ": file '" + p.name +
                                      "' vs store '" + store.name(id) + "'");
     }
     Matrix& m = store.value(id);
-    if (rows != m.rows() || cols != m.cols()) {
-      return Status::InvalidArgument("shape mismatch for " + name);
+    if (p.value.rows() != m.rows() || p.value.cols() != m.cols()) {
+      return Status::InvalidArgument("shape mismatch for " + p.name);
     }
-    for (size_t k = 0; k < m.size(); ++k) {
-      in >> m[k];
-    }
-    if (!in) return Status::IoError("truncated values in " + path);
+    m = p.value;
   }
   return Status::OK();
 }

@@ -1,26 +1,83 @@
 // Parameter (de)serialization: a plain-text format so trained models can
 // be checkpointed and shipped (e.g. train SCIS once, impute many files
-// with tools/scis_impute). Format:
+// with scis_impute, or serve them online with scis_serve).
+//
+// v1 (weights only, legacy):
 //   scis-params v1
 //   <num_params>
 //   <name> <rows> <cols>
 //   <rows*cols doubles, space-separated, full precision>
 //   ...
+//
+// v2 (self-contained: weights + the metadata needed to impute new rows):
+//   scis-params v2
+//   model <architecture tag, e.g. GAIN>
+//   columns <d>
+//   <kind:int> <num_categories:int> <name, rest of line>   x d
+//   normalizer <d>
+//   <d lo values>
+//   <d hi values>
+//   params <num_params>
+//   <name> <rows> <cols>
+//   <values>
+//   ...
+//
+// LoadParams accepts both versions, so v1 checkpoints written before the
+// serving subsystem keep loading.
 #ifndef SCIS_NN_SERIALIZE_H_
 #define SCIS_NN_SERIALIZE_H_
 
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "nn/param_store.h"
 
 namespace scis {
 
-// Writes every parameter in `store` to `path`.
+// Per-column schema entry mirrored from data/dataset.h's ColumnMeta,
+// expressed in plain types so nn stays independent of the data module.
+struct CheckpointColumn {
+  std::string name;
+  int kind = 0;  // static_cast<int>(ColumnKind)
+  int num_categories = 0;
+};
+
+// Everything beyond the weights that a loaded model needs to impute raw
+// rows: the architecture tag, the column schema, and the min-max stats the
+// training pipeline normalized with.
+struct CheckpointMeta {
+  std::string model;  // e.g. "GAIN"
+  std::vector<CheckpointColumn> columns;
+  std::vector<double> norm_lo, norm_hi;
+};
+
+struct NamedParam {
+  std::string name;
+  Matrix value;
+};
+
+struct Checkpoint {
+  int version = 0;  // 1 = weights only, 2 = self-contained
+  CheckpointMeta meta;
+  std::vector<NamedParam> params;
+};
+
+// Writes every parameter in `store` to `path` (v1, weights only).
 Status SaveParams(const ParamStore& store, const std::string& path);
 
+// Writes a self-contained v2 checkpoint: `meta` plus every parameter in
+// `store`. meta.columns / norm_lo / norm_hi must agree in size.
+Status SaveCheckpoint(const ParamStore& store, const CheckpointMeta& meta,
+                      const std::string& path);
+
+// Reads a v1 or v2 checkpoint without needing a pre-built store (the
+// serving path, which reconstructs the network from the file alone).
+Result<Checkpoint> LoadCheckpoint(const std::string& path);
+
 // Restores values into an already-built `store`; parameter names, count,
-// order, and shapes must match exactly (architecture is not serialized).
+// order, and shapes must match exactly (architecture is not rebuilt).
+// Accepts v1 and v2 files; v2 metadata is ignored.
 Status LoadParams(ParamStore& store, const std::string& path);
 
 }  // namespace scis

@@ -1,0 +1,281 @@
+#include "serve/batch_queue.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runtime/runtime.h"
+
+namespace scis::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::duration MsToDuration(double ms) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+double DurationToMs(Clock::duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+struct QueueMetrics {
+  obs::Counter* requests;
+  obs::Counter* rejected;
+  obs::Counter* timed_out;
+  obs::Counter* batches;
+  obs::Gauge* queue_depth;
+  obs::Histogram* request_ms;
+  obs::Histogram* batch_ms;
+  obs::Histogram* batch_rows;
+};
+
+QueueMetrics& Metrics() {
+  static QueueMetrics m = [] {
+    obs::Registry& reg = obs::Registry::Global();
+    const std::vector<double> ms_bounds = {0.05, 0.1, 0.25, 0.5, 1,   2.5, 5,
+                                           10,   25,  50,   100, 250, 1000};
+    QueueMetrics qm;
+    qm.requests = reg.GetCounter("serve.requests");
+    qm.rejected = reg.GetCounter("serve.rejected");
+    qm.timed_out = reg.GetCounter("serve.timed_out");
+    qm.batches = reg.GetCounter("serve.batches");
+    qm.queue_depth = reg.GetGauge("serve.queue_depth");
+    qm.request_ms = reg.GetHistogram("serve.request_ms", ms_bounds);
+    qm.batch_ms = reg.GetHistogram("serve.batch_ms", ms_bounds);
+    qm.batch_rows = reg.GetHistogram("serve.batch_rows",
+                                     {1, 2, 4, 8, 16, 32, 64, 128, 256});
+    return qm;
+  }();
+  return m;
+}
+
+struct Request {
+  Matrix rows;
+  Clock::time_point enqueued_at;
+  Clock::time_point deadline;  // time_point::max() = no timeout
+  bool done = false;           // guarded by State::mu
+  Status status;               // written before done flips
+  Matrix result;               // written before done flips
+};
+
+}  // namespace
+
+struct BatchQueue::State {
+  std::mutex mu;
+  std::condition_variable cv_work;  // dispatcher wakeups
+  std::condition_variable cv_done;  // request completions + drain progress
+  std::deque<std::shared_ptr<Request>> queue;
+  size_t queued_rows = 0;
+  size_t in_flight_batches = 0;
+  bool shutdown = false;
+};
+
+BatchQueue::BatchQueue(std::shared_ptr<const ImputationEngine> engine,
+                       BatchQueueOptions opts)
+    : engine_(std::move(engine)),
+      opts_(opts),
+      state_(std::make_shared<State>()) {
+  SCIS_CHECK(engine_ != nullptr);
+  SCIS_CHECK_GE(opts_.max_batch_rows, 1u);
+  SCIS_CHECK_GE(opts_.max_queue_rows, 1u);
+  Metrics();  // register handles before worker threads race to create them
+  // The dispatcher captures shared copies so it never reads `this`.
+  std::shared_ptr<State> state = state_;
+  std::shared_ptr<const ImputationEngine> eng = engine_;
+  BatchQueueOptions o = opts_;
+  dispatcher_ = std::thread([state, eng, o] {
+    obs::SetCurrentThreadName("serve-dispatcher");
+    DispatcherLoop(state, eng, o);
+  });
+}
+
+BatchQueue::~BatchQueue() {
+  Shutdown();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+size_t BatchQueue::queued_rows() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->queued_rows;
+}
+
+Result<Matrix> BatchQueue::Impute(const Matrix& rows) {
+  QueueMetrics& metrics = Metrics();
+  metrics.requests->Add();
+  if (rows.rows() == 0) return Status::InvalidArgument("empty request");
+  if (rows.cols() != engine_->num_cols()) {
+    metrics.rejected->Add();
+    return Status::InvalidArgument(
+        "request has " + std::to_string(rows.cols()) +
+        " columns, model expects " + std::to_string(engine_->num_cols()));
+  }
+
+  auto req = std::make_shared<Request>();
+  req->rows = rows;
+  {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    if (state_->shutdown) {
+      metrics.rejected->Add();
+      return Status::Unavailable("imputation queue is shutting down");
+    }
+    if (state_->queued_rows + rows.rows() > opts_.max_queue_rows) {
+      metrics.rejected->Add();
+      return Status::Unavailable("imputation queue full (" +
+                                 std::to_string(state_->queued_rows) + " of " +
+                                 std::to_string(opts_.max_queue_rows) +
+                                 " rows queued)");
+    }
+    req->enqueued_at = Clock::now();
+    req->deadline =
+        opts_.request_timeout_ms > 0
+            ? req->enqueued_at + MsToDuration(opts_.request_timeout_ms)
+            : Clock::time_point::max();
+    state_->queue.push_back(req);
+    state_->queued_rows += rows.rows();
+    metrics.queue_depth->Set(static_cast<double>(state_->queued_rows));
+    state_->cv_work.notify_one();
+    state_->cv_done.wait(lock, [&] { return req->done; });
+  }
+  metrics.request_ms->Observe(DurationToMs(Clock::now() - req->enqueued_at));
+  if (!req->status.ok()) return req->status;
+  return std::move(req->result);
+}
+
+// static
+void BatchQueue::FlushLocked(std::shared_ptr<State>& state,
+                             const std::shared_ptr<const ImputationEngine>& engine,
+                             const BatchQueueOptions& opts,
+                             std::unique_lock<std::mutex>& lock) {
+  QueueMetrics& metrics = Metrics();
+  const Clock::time_point now = Clock::now();
+
+  // Collect whole requests up to the batch target, failing the ones whose
+  // deadline expired while they waited.
+  std::vector<std::shared_ptr<Request>> batch;
+  size_t batch_rows = 0;
+  while (!state->queue.empty() && batch_rows < opts.max_batch_rows) {
+    std::shared_ptr<Request> req = state->queue.front();
+    state->queue.pop_front();
+    state->queued_rows -= req->rows.rows();
+    if (now >= req->deadline) {
+      metrics.timed_out->Add();
+      req->status = Status::DeadlineExceeded(
+          "request spent more than " + std::to_string(opts.request_timeout_ms) +
+          " ms queued");
+      req->done = true;
+      continue;
+    }
+    batch_rows += req->rows.rows();
+    batch.push_back(std::move(req));
+  }
+  metrics.queue_depth->Set(static_cast<double>(state->queued_rows));
+  state->cv_done.notify_all();  // wake timed-out waiters
+  if (batch.empty()) return;
+
+  ++state->in_flight_batches;
+  lock.unlock();
+
+  auto execute = [state, engine, batch = std::move(batch), batch_rows] {
+    SCIS_TRACE_SPAN("serve.batch");
+    QueueMetrics& m = Metrics();
+    const Clock::time_point start = Clock::now();
+    // Single-request batches skip the stacking copy — the low-traffic case.
+    Result<Matrix> result = Status::OK();
+    if (batch.size() == 1) {
+      result = engine->ImputeBatch(batch[0]->rows);
+    } else {
+      Matrix stacked(batch_rows, engine->num_cols());
+      size_t at = 0;
+      for (const auto& req : batch) {
+        std::copy(req->rows.data(), req->rows.data() + req->rows.size(),
+                  stacked.row_data(at));
+        at += req->rows.rows();
+      }
+      result = engine->ImputeBatch(stacked);
+    }
+    size_t at = 0;
+    for (const auto& req : batch) {
+      if (result.ok()) {
+        req->result = result.value().RowRange(at, at + req->rows.rows());
+        at += req->rows.rows();
+      } else {
+        req->status = result.status();
+      }
+    }
+    m.batches->Add();
+    m.batch_rows->Observe(static_cast<double>(batch_rows));
+    m.batch_ms->Observe(DurationToMs(Clock::now() - start));
+    {
+      std::lock_guard<std::mutex> relock(state->mu);
+      for (const auto& req : batch) req->done = true;
+      --state->in_flight_batches;
+      // Notify under the lock: waiters (including ~BatchQueue's drain) may
+      // release the State right after waking, and the shared_ptr captured
+      // here keeps mu/cv alive until this task returns.
+      state->cv_done.notify_all();
+      state->cv_work.notify_all();  // dispatcher may be draining on shutdown
+    }
+  };
+
+  // Execute on the shared pool when the runtime is multi-threaded so
+  // batches overlap; otherwise run inline on the dispatcher thread (the
+  // exact serial path, matching the runtime's 1-thread contract).
+  if (runtime::ThreadPool* pool = runtime::GetPool()) {
+    pool->Submit(std::move(execute));
+  } else {
+    execute();
+  }
+  lock.lock();
+}
+
+// static
+void BatchQueue::DispatcherLoop(std::shared_ptr<State> state,
+                                std::shared_ptr<const ImputationEngine> engine,
+                                BatchQueueOptions opts) {
+  std::unique_lock<std::mutex> lock(state->mu);
+  for (;;) {
+    state->cv_work.wait(lock,
+                        [&] { return !state->queue.empty() || state->shutdown; });
+    if (state->queue.empty()) {
+      // Shutting down with nothing queued: wait out in-flight batches (a
+      // late enqueue is impossible — admission is closed), then stop.
+      state->cv_work.wait(lock, [&] { return state->in_flight_batches == 0; });
+      return;
+    }
+
+    const Clock::time_point now = Clock::now();
+    Clock::time_point wake =
+        state->queue.front()->enqueued_at + MsToDuration(opts.max_wait_ms);
+    for (const auto& req : state->queue) wake = std::min(wake, req->deadline);
+
+    if (state->queued_rows >= opts.max_batch_rows || state->shutdown ||
+        now >= wake) {
+      FlushLocked(state, engine, opts, lock);
+      continue;
+    }
+    state->cv_work.wait_until(lock, wake, [&] {
+      return state->shutdown || state->queued_rows >= opts.max_batch_rows;
+    });
+  }
+}
+
+void BatchQueue::Shutdown() {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->shutdown = true;
+  state_->cv_work.notify_all();
+  // Drain: every queued request completes (executed or expired) and every
+  // in-flight batch lands before Shutdown returns.
+  state_->cv_done.wait(lock, [&] {
+    return state_->queue.empty() && state_->in_flight_batches == 0;
+  });
+}
+
+}  // namespace scis::serve

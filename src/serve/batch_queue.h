@@ -1,0 +1,88 @@
+// BatchQueue: dynamic micro-batching in front of an ImputationEngine.
+//
+// Concurrent callers block in Impute(); a dispatcher thread coalesces their
+// requests into micro-batches, flushing when the queued rows reach
+// max_batch_rows or the oldest request has waited max_wait_ms — the classic
+// latency/throughput knob of online inference servers. Batches execute on
+// the shared runtime::ThreadPool workers (inline when the runtime is
+// single-threaded), so serving obeys the same --threads / SCIS_NUM_THREADS
+// configuration as everything else.
+//
+// Backpressure: the queue has bounded depth (max_queue_rows of undispatched
+// work). Admission is checked synchronously — a full queue rejects with
+// kUnavailable instead of blocking, so callers (and remote clients) see
+// overload immediately. Requests that wait longer than request_timeout_ms
+// without being dispatched fail with kDeadlineExceeded.
+//
+// Shutdown drains: queued requests are still batched and executed, in-flight
+// batches complete, then new work is rejected with kUnavailable.
+//
+// Because every engine output row depends only on its own input row,
+// results are bit-identical no matter how requests are interleaved into
+// batches or how many pool threads execute them (tests/serve_test.cc holds
+// this as a property).
+#ifndef SCIS_SERVE_BATCH_QUEUE_H_
+#define SCIS_SERVE_BATCH_QUEUE_H_
+
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/status.h"
+#include "serve/engine.h"
+#include "tensor/matrix.h"
+
+namespace scis::serve {
+
+struct BatchQueueOptions {
+  size_t max_batch_rows = 64;     // flush when this many rows are queued
+  size_t max_queue_rows = 1024;   // admission bound on undispatched rows
+  double max_wait_ms = 2.0;       // flush deadline from the oldest enqueue
+  double request_timeout_ms = 0;  // fail queued requests after this (0 = off)
+};
+
+class BatchQueue {
+ public:
+  BatchQueue(std::shared_ptr<const ImputationEngine> engine,
+             BatchQueueOptions opts);
+  ~BatchQueue();  // Shutdown() + join
+
+  BatchQueue(const BatchQueue&) = delete;
+  BatchQueue& operator=(const BatchQueue&) = delete;
+
+  // Blocks until the request's batch has executed. A request is never split
+  // across batches. Fails fast with kUnavailable when admission would
+  // exceed max_queue_rows or the queue is shutting down, and with
+  // kDeadlineExceeded when the request times out while queued.
+  Result<Matrix> Impute(const Matrix& rows);
+
+  // Stops admitting work, drains queued requests and in-flight batches,
+  // then stops the dispatcher. Idempotent.
+  void Shutdown();
+
+  // Undispatched rows currently queued (tests and the queue-depth gauge).
+  size_t queued_rows() const;
+
+ private:
+  // Queue state lives behind a shared_ptr: batches executing on pool
+  // workers (threads this class does not own) keep it alive, so completion
+  // signaling can never touch a destroyed mutex/condvar.
+  struct State;
+
+  static void DispatcherLoop(std::shared_ptr<State> state,
+                             std::shared_ptr<const ImputationEngine> engine,
+                             BatchQueueOptions opts);
+  static void FlushLocked(std::shared_ptr<State>& state,
+                          const std::shared_ptr<const ImputationEngine>& engine,
+                          const BatchQueueOptions& opts,
+                          std::unique_lock<std::mutex>& lock);
+
+  std::shared_ptr<const ImputationEngine> engine_;
+  BatchQueueOptions opts_;
+  std::shared_ptr<State> state_;
+  std::thread dispatcher_;
+};
+
+}  // namespace scis::serve
+
+#endif  // SCIS_SERVE_BATCH_QUEUE_H_

@@ -1,0 +1,125 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace scis::serve {
+namespace {
+
+bool WriteAll(int fd, const std::vector<uint8_t>& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ImputationClient>> ImputationClient::Connect(
+    const std::string& host, int port) {
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument("bad port " + std::to_string(port));
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("socket: " + std::string(strerror(errno)));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad server address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st =
+        Status::IoError("connect " + host + ":" + std::to_string(port) + ": " +
+                        strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<ImputationClient>(new ImputationClient(fd));
+}
+
+ImputationClient::~ImputationClient() { Close(); }
+
+void ImputationClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Frame> ImputationClient::RoundTrip(const Frame& request) {
+  if (fd_ < 0) return Status::IoError("client is closed");
+  std::vector<uint8_t> bytes;
+  AppendFrame(request, &bytes);
+  if (!WriteAll(fd_, bytes)) {
+    return Status::IoError("write failed: " + std::string(strerror(errno)));
+  }
+  uint8_t buf[4096];
+  for (;;) {
+    SCIS_ASSIGN_OR_RETURN(std::optional<Frame> frame, reader_.Next());
+    if (frame.has_value()) {
+      if (frame->type == FrameType::kError) {
+        return DecodeErrorFrame(*frame);
+      }
+      return std::move(*frame);
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      return Status::IoError("read failed: " + std::string(strerror(errno)));
+    }
+    if (n == 0) {
+      return Status::IoError("server closed the connection mid-response");
+    }
+    reader_.Append(buf, static_cast<size_t>(n));
+  }
+}
+
+Result<Matrix> ImputationClient::Impute(const Matrix& rows) {
+  if (rows.rows() == 0) return Status::InvalidArgument("empty request");
+  Frame request{FrameType::kImputeRequest, EncodeMatrixPayload(rows)};
+  SCIS_ASSIGN_OR_RETURN(Frame reply, RoundTrip(request));
+  if (reply.type != FrameType::kImputeResponse) {
+    return Status::IoError("unexpected reply frame type " +
+                           std::to_string(static_cast<int>(reply.type)));
+  }
+  return DecodeMatrixPayload(reply.payload);
+}
+
+Status ImputationClient::Ping() {
+  SCIS_ASSIGN_OR_RETURN(Frame reply, RoundTrip(Frame{FrameType::kPing, {}}));
+  if (reply.type != FrameType::kPong) {
+    return Status::IoError("unexpected reply frame type " +
+                           std::to_string(static_cast<int>(reply.type)));
+  }
+  return Status::OK();
+}
+
+Status ImputationClient::RequestShutdown() {
+  SCIS_ASSIGN_OR_RETURN(Frame reply,
+                        RoundTrip(Frame{FrameType::kShutdown, {}}));
+  if (reply.type != FrameType::kShutdownAck) {
+    return Status::IoError("unexpected reply frame type " +
+                           std::to_string(static_cast<int>(reply.type)));
+  }
+  return Status::OK();
+}
+
+}  // namespace scis::serve

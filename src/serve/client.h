@@ -1,0 +1,55 @@
+// ImputationClient: a blocking TCP client for the serve wire protocol.
+//
+// One connection, strictly request/response: each call writes a frame and
+// reads until the matching reply (or an error frame, which becomes a typed
+// Status). Not thread-safe — use one client per thread, or serialize calls.
+#ifndef SCIS_SERVE_CLIENT_H_
+#define SCIS_SERVE_CLIENT_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "serve/wire.h"
+#include "tensor/matrix.h"
+
+namespace scis::serve {
+
+class ImputationClient {
+ public:
+  // Connects to a server at host (dotted-quad) : port.
+  static Result<std::unique_ptr<ImputationClient>> Connect(
+      const std::string& host, int port);
+
+  ~ImputationClient();  // closes the connection
+
+  ImputationClient(const ImputationClient&) = delete;
+  ImputationClient& operator=(const ImputationClient&) = delete;
+
+  // Sends rows (raw units, quiet NaN = missing) and blocks for the imputed
+  // result. Server-side failures (queue full, timeout, bad request) come
+  // back as their original status codes.
+  Result<Matrix> Impute(const Matrix& rows);
+
+  // Round-trips a ping frame; OK means the server is reachable and serving.
+  Status Ping();
+
+  // Asks the server to shut down gracefully; returns once acknowledged.
+  Status RequestShutdown();
+
+  void Close();
+
+ private:
+  explicit ImputationClient(int fd) : fd_(fd) {}
+
+  // Writes one frame, then reads frames until one arrives (responses only —
+  // the server never pipelines). Error frames are decoded into a Status.
+  Result<Frame> RoundTrip(const Frame& request);
+
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+}  // namespace scis::serve
+
+#endif  // SCIS_SERVE_CLIENT_H_

@@ -1,0 +1,149 @@
+#include "serve/engine.h"
+
+#include <cmath>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tensor/matrix_ops.h"
+
+namespace scis::serve {
+
+Result<std::shared_ptr<const ImputationEngine>> ImputationEngine::Load(
+    const std::string& path) {
+  SCIS_ASSIGN_OR_RETURN(Checkpoint ckpt, LoadCheckpoint(path));
+  return FromCheckpoint(ckpt);
+}
+
+Result<std::shared_ptr<const ImputationEngine>> ImputationEngine::FromCheckpoint(
+    const Checkpoint& ckpt) {
+  if (ckpt.version < 2) {
+    return Status::InvalidArgument(
+        "checkpoint is not self-contained (v1: weights only); re-save with "
+        "scis_impute --save_params to get normalizer stats and schema");
+  }
+  if (ckpt.meta.model != "GAIN") {
+    return Status::NotImplemented("serving supports feedforward GAIN-style "
+                                  "generators; checkpoint model is '" +
+                                  ckpt.meta.model + "'");
+  }
+  const size_t d = ckpt.meta.columns.size();
+  if (d == 0) return Status::InvalidArgument("checkpoint has no columns");
+  if (ckpt.meta.norm_lo.size() != d || ckpt.meta.norm_hi.size() != d) {
+    return Status::InvalidArgument("normalizer stats disagree with schema");
+  }
+  for (size_t j = 0; j < d; ++j) {
+    if (!std::isfinite(ckpt.meta.norm_lo[j]) ||
+        !std::isfinite(ckpt.meta.norm_hi[j]) ||
+        ckpt.meta.norm_hi[j] <= ckpt.meta.norm_lo[j]) {
+      return Status::InvalidArgument("normalizer stats invalid at column " +
+                                     std::to_string(j));
+    }
+  }
+  if (ckpt.params.empty() || ckpt.params.size() % 2 != 0) {
+    return Status::InvalidArgument(
+        "generator parameters must be (W, b) pairs; checkpoint has " +
+        std::to_string(ckpt.params.size()));
+  }
+
+  auto engine = std::shared_ptr<ImputationEngine>(new ImputationEngine());
+  engine->model_ = ckpt.meta.model;
+  engine->lo_ = ckpt.meta.norm_lo;
+  engine->hi_ = ckpt.meta.norm_hi;
+  engine->columns_.reserve(d);
+  for (const CheckpointColumn& c : ckpt.meta.columns) {
+    ColumnMeta meta;
+    meta.name = c.name;
+    meta.kind = static_cast<ColumnKind>(c.kind);
+    meta.num_categories = c.num_categories;
+    engine->columns_.push_back(std::move(meta));
+  }
+
+  // Reassemble the generator MLP: (W: in x out, b: 1 x out) pairs chained
+  // [x, m] (2d) -> ... -> d, ReLU hidden / sigmoid output (GAIN §VI).
+  const size_t num_layers = ckpt.params.size() / 2;
+  size_t expect_in = 2 * d;
+  for (size_t l = 0; l < num_layers; ++l) {
+    const NamedParam& w = ckpt.params[2 * l];
+    const NamedParam& b = ckpt.params[2 * l + 1];
+    if (w.value.rows() != expect_in) {
+      return Status::InvalidArgument(
+          "layer " + std::to_string(l) + " weight '" + w.name + "' is " +
+          std::to_string(w.value.rows()) + "-in, expected " +
+          std::to_string(expect_in));
+    }
+    if (b.value.rows() != 1 || b.value.cols() != w.value.cols()) {
+      return Status::InvalidArgument("layer " + std::to_string(l) +
+                                     " bias '" + b.name +
+                                     "' does not match its weight");
+    }
+    Layer layer;
+    layer.w = w.value;
+    layer.b = b.value;
+    layer.sigmoid_out = (l + 1 == num_layers);
+    expect_in = w.value.cols();
+    engine->layers_.push_back(std::move(layer));
+  }
+  if (expect_in != d) {
+    return Status::InvalidArgument("generator output width " +
+                                   std::to_string(expect_in) +
+                                   " does not match the " +
+                                   std::to_string(d) + "-column schema");
+  }
+  return std::shared_ptr<const ImputationEngine>(std::move(engine));
+}
+
+Result<Matrix> ImputationEngine::ImputeBatch(const Matrix& rows) const {
+  SCIS_TRACE_SPAN("serve.engine.impute");
+  static obs::Counter* rows_imputed =
+      obs::Registry::Global().GetCounter("serve.engine.rows");
+  if (rows.rows() == 0) return Status::InvalidArgument("empty request");
+  const size_t d = num_cols();
+  if (rows.cols() != d) {
+    return Status::InvalidArgument("request has " +
+                                   std::to_string(rows.cols()) +
+                                   " columns, model expects " +
+                                   std::to_string(d));
+  }
+  const size_t n = rows.rows();
+
+  // Normalize with the stored training stats; missing cells (NaN) hold 0 in
+  // x and 0 in m — exactly what MinMaxNormalizer::Transform produces.
+  Matrix x(n, d), m(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      const double v = rows(i, j);
+      if (std::isnan(v)) continue;
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument("non-finite value at cell (" +
+                                       std::to_string(i) + ", " +
+                                       std::to_string(j) + ")");
+      }
+      x(i, j) = (v - lo_[j]) / (hi_[j] - lo_[j]);
+      m(i, j) = 1.0;
+    }
+  }
+
+  // Generator forward pass through the same kernels nn::Mlp::Forward uses,
+  // so values match the offline tape path bit-for-bit.
+  Matrix h = ConcatCols(x, m);
+  for (const Layer& layer : layers_) {
+    h = AddRowBroadcast(MatMul(h, layer.w), layer.b);
+    h = layer.sigmoid_out ? Sigmoid(h) : Relu(h);
+  }
+
+  // Eq. 1 + inverse transform: observed cells keep their exact raw input;
+  // missing cells denormalize the generator output with the stored stats,
+  // matching MinMaxNormalizer::InverseTransform.
+  Matrix out = rows;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      if (std::isnan(rows(i, j))) {
+        out(i, j) = lo_[j] + h(i, j) * (hi_[j] - lo_[j]);
+      }
+    }
+  }
+  rows_imputed->Add(n);
+  return out;
+}
+
+}  // namespace scis::serve

@@ -1,0 +1,68 @@
+// ImputationEngine: the inference half of the stack. Loads a self-contained
+// v2 checkpoint (generator weights + normalizer stats + column schema) once
+// and answers imputation requests on raw rows — the serving shape GAN-based
+// imputers assume when deployed on live incomplete records.
+//
+// The engine is immutable after Load and therefore shared across worker
+// threads without locking (std::shared_ptr<const ImputationEngine>).
+//
+// Bit-identity contract: ImputeBatch replays the exact offline pipeline —
+// min-max normalize with the stored stats, generator forward pass through
+// the same tensor kernels nn::Mlp uses (MatMul / AddRowBroadcast / Relu /
+// Sigmoid), Eq. 1, inverse transform — and every output row depends only on
+// its own input row. Serving a row alone, inside any micro-batch, or via
+// the offline Imputer on the training machine produces bit-identical
+// values; the testkit oracles rely on this.
+#ifndef SCIS_SERVE_ENGINE_H_
+#define SCIS_SERVE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "nn/serialize.h"
+#include "tensor/matrix.h"
+
+namespace scis::serve {
+
+class ImputationEngine {
+ public:
+  // Loads a v2 checkpoint from disk. v1 checkpoints are rejected: they lack
+  // the normalizer stats and schema needed to handle raw rows.
+  static Result<std::shared_ptr<const ImputationEngine>> Load(
+      const std::string& path);
+
+  // Builds an engine from an in-memory checkpoint (tests, benches).
+  static Result<std::shared_ptr<const ImputationEngine>> FromCheckpoint(
+      const Checkpoint& ckpt);
+
+  size_t num_cols() const { return columns_.size(); }
+  const std::vector<ColumnMeta>& columns() const { return columns_; }
+  const std::string& model() const { return model_; }
+  const std::vector<double>& norm_lo() const { return lo_; }
+  const std::vector<double>& norm_hi() const { return hi_; }
+
+  // Imputes `rows` (raw units, quiet NaN = missing). Returns the completed
+  // rows in raw units: observed cells pass through bit-exactly, missing
+  // cells are filled per Eq. 1 from the generator forward pass. Thread-safe.
+  Result<Matrix> ImputeBatch(const Matrix& rows) const;
+
+ private:
+  struct Layer {
+    Matrix w, b;
+    bool sigmoid_out = false;  // hidden layers are ReLU (GAIN §VI)
+  };
+
+  ImputationEngine() = default;
+
+  std::string model_;
+  std::vector<ColumnMeta> columns_;
+  std::vector<double> lo_, hi_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace scis::serve
+
+#endif  // SCIS_SERVE_ENGINE_H_

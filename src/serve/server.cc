@@ -1,0 +1,232 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/wire.h"
+
+namespace scis::serve {
+namespace {
+
+// Writes the whole buffer, retrying on EINTR / partial writes. MSG_NOSIGNAL
+// turns a dead peer into an error return instead of SIGPIPE.
+bool WriteAll(int fd, const std::vector<uint8_t>& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool WriteFrame(int fd, const Frame& frame) {
+  std::vector<uint8_t> bytes;
+  AppendFrame(frame, &bytes);
+  return WriteAll(fd, bytes);
+}
+
+}  // namespace
+
+ImputationServer::ImputationServer(
+    std::shared_ptr<const ImputationEngine> engine, ServerOptions opts)
+    : engine_(std::move(engine)), opts_(std::move(opts)) {
+  SCIS_CHECK(engine_ != nullptr);
+}
+
+ImputationServer::~ImputationServer() { Shutdown(); }
+
+Status ImputationServer::Start() {
+  if (listen_fd_ >= 0) return Status::AlreadyExists("server already started");
+  queue_ = std::make_unique<BatchQueue>(engine_, opts_.queue);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("socket: " + std::string(strerror(errno)));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(opts_.port));
+  if (::inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad bind address: " + opts_.host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st =
+        Status::IoError("bind " + opts_.host + ":" +
+                        std::to_string(opts_.port) + ": " + strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, 64) != 0) {
+    const Status st = Status::IoError("listen: " + std::string(strerror(errno)));
+    ::close(fd);
+    return st;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const Status st =
+        Status::IoError("getsockname: " + std::string(strerror(errno)));
+    ::close(fd);
+    return st;
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  accept_thread_ = std::thread([this] {
+    obs::SetCurrentThreadName("serve-accept");
+    AcceptLoop();
+  });
+  return Status::OK();
+}
+
+void ImputationServer::AcceptLoop() {
+  static obs::Counter* connections =
+      obs::Registry::Global().GetCounter("serve.connections");
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed: shutting down
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections->Add();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_requested_) {
+      ::close(fd);
+      return;
+    }
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] {
+      obs::SetCurrentThreadName("serve-conn");
+      ConnectionLoop(fd);
+    });
+  }
+}
+
+void ImputationServer::ConnectionLoop(int fd) {
+  static obs::Counter* protocol_errors =
+      obs::Registry::Global().GetCounter("serve.protocol_errors");
+  FrameReader reader;
+  uint8_t buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF or read-side shut down
+    reader.Append(buf, static_cast<size_t>(n));
+    for (;;) {
+      Result<std::optional<Frame>> next = reader.Next();
+      if (!next.ok()) {
+        // Malformed stream: report once, then hang up.
+        protocol_errors->Add();
+        WriteFrame(fd, MakeErrorFrame(next.status()));
+        ::shutdown(fd, SHUT_RDWR);
+        return;
+      }
+      if (!next.value().has_value()) break;  // need more bytes
+      const Frame frame = std::move(*next.value());
+      switch (frame.type) {
+        case FrameType::kPing:
+          if (!WriteFrame(fd, Frame{FrameType::kPong, {}})) return;
+          break;
+        case FrameType::kImputeRequest: {
+          SCIS_TRACE_SPAN("serve.request");
+          Result<Matrix> rows = DecodeMatrixPayload(frame.payload);
+          Result<Matrix> imputed =
+              rows.ok() ? queue_->Impute(rows.value()) : rows.status();
+          Frame reply;
+          if (imputed.ok()) {
+            reply.type = FrameType::kImputeResponse;
+            reply.payload = EncodeMatrixPayload(imputed.value());
+          } else {
+            reply = MakeErrorFrame(imputed.status());
+          }
+          if (!WriteFrame(fd, reply)) return;
+          break;
+        }
+        case FrameType::kShutdown: {
+          if (!opts_.allow_remote_shutdown) {
+            WriteFrame(fd, MakeErrorFrame(Status::Unavailable(
+                               "remote shutdown disabled")));
+            break;
+          }
+          WriteFrame(fd, Frame{FrameType::kShutdownAck, {}});
+          std::lock_guard<std::mutex> lock(mu_);
+          shutdown_requested_ = true;
+          cv_shutdown_.notify_all();
+          break;
+        }
+        default:
+          // Server-bound streams should not carry response-side frames.
+          protocol_errors->Add();
+          WriteFrame(fd, MakeErrorFrame(Status::InvalidArgument(
+                             "unexpected frame type on a request stream")));
+          break;
+      }
+    }
+  }
+}
+
+void ImputationServer::Wait() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_shutdown_.wait(lock, [&] { return shutdown_requested_ || stopped_; });
+  }
+  Shutdown();
+}
+
+void ImputationServer::Shutdown() {
+  std::vector<std::thread> conn_threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    shutdown_requested_ = true;
+    cv_shutdown_.notify_all();
+  }
+  // Stop the listener first so no new connections arrive.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Close connection read sides: idle connections see EOF and exit, while a
+  // connection mid-request finishes it (the queue keeps running) and writes
+  // its response before noticing.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
+    conn_threads = std::move(conn_threads_);
+  }
+  for (std::thread& t : conn_threads) {
+    if (t.joinable()) t.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : conn_fds_) ::close(fd);
+    conn_fds_.clear();
+  }
+  // Every connection has written its responses; drain whatever is left.
+  if (queue_ != nullptr) queue_->Shutdown();
+  SCIS_LOG(Info) << "scis_serve: stopped (port " << port_ << ")";
+}
+
+}  // namespace scis::serve

@@ -1,0 +1,82 @@
+// ImputationServer: a blocking TCP server speaking the serve wire protocol.
+//
+// One accept thread plus one thread per connection; each connection thread
+// reads frames, pushes impute requests through the shared BatchQueue (which
+// is where cross-connection micro-batching happens), and writes the
+// response or error frame back. The engine is shared immutably; all mutable
+// serving state lives in the queue.
+//
+// Shutdown is graceful: the listener closes, connection read sides are shut
+// down, in-flight requests finish and their responses are written, the
+// queue drains, then threads are joined. A client can trigger the same
+// sequence remotely with a kShutdown frame (scis_client --shutdown), which
+// the server acknowledges before draining.
+#ifndef SCIS_SERVE_SERVER_H_
+#define SCIS_SERVE_SERVER_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/batch_queue.h"
+#include "serve/engine.h"
+
+namespace scis::serve {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";  // dotted-quad bind address
+  int port = 0;                    // 0 = kernel-assigned ephemeral port
+  BatchQueueOptions queue;
+  bool allow_remote_shutdown = true;  // honor kShutdown frames
+};
+
+class ImputationServer {
+ public:
+  ImputationServer(std::shared_ptr<const ImputationEngine> engine,
+                   ServerOptions opts);
+  ~ImputationServer();
+
+  ImputationServer(const ImputationServer&) = delete;
+  ImputationServer& operator=(const ImputationServer&) = delete;
+
+  // Binds, listens, and starts the accept thread. After an ephemeral bind
+  // (port 0), port() reports the kernel-assigned port.
+  Status Start();
+
+  int port() const { return port_; }
+
+  // Blocks until Shutdown() is called or a client requests shutdown, then
+  // performs the graceful drain. Returns once the server is fully stopped.
+  void Wait();
+
+  // Graceful stop: close the listener, drain connections and the queue,
+  // join all threads. Idempotent; safe from any thread.
+  void Shutdown();
+
+ private:
+  void AcceptLoop();
+  void ConnectionLoop(int fd);
+
+  std::shared_ptr<const ImputationEngine> engine_;
+  ServerOptions opts_;
+  std::unique_ptr<BatchQueue> queue_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+
+  std::mutex mu_;
+  std::condition_variable cv_shutdown_;
+  bool shutdown_requested_ = false;
+  bool stopped_ = false;
+  std::vector<int> conn_fds_;            // open connection sockets
+  std::vector<std::thread> conn_threads_;
+  std::thread accept_thread_;
+};
+
+}  // namespace scis::serve
+
+#endif  // SCIS_SERVE_SERVER_H_

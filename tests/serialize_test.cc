@@ -60,6 +60,75 @@ TEST(SerializeTest, RejectsCountMismatchAndMissingFile) {
   std::remove(path.c_str());
 }
 
+TEST(SerializeTest, V2CheckpointRoundTripsMetaAndParams) {
+  ParamStore store;
+  Rng rng(3);
+  store.Add("g.l0.W", rng.NormalMatrix(6, 3));
+  store.Add("g.l0.b", rng.NormalMatrix(1, 3));
+
+  CheckpointMeta meta;
+  meta.model = "GAIN";
+  meta.columns = {{"age", 0, 0}, {"blood type", 2, 4}, {"smoker", 1, 0}};
+  meta.norm_lo = {0.0, -1.5, 0.0};
+  meta.norm_hi = {120.0, 2.5, 1.0};
+  const std::string path = "/tmp/scis_params_v2.txt";
+  ASSERT_TRUE(SaveCheckpoint(store, meta, path).ok());
+
+  Result<Checkpoint> loaded = LoadCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->version, 2);
+  EXPECT_EQ(loaded->meta.model, "GAIN");
+  ASSERT_EQ(loaded->meta.columns.size(), 3u);
+  EXPECT_EQ(loaded->meta.columns[1].name, "blood type");  // space survives
+  EXPECT_EQ(loaded->meta.columns[1].kind, 2);
+  EXPECT_EQ(loaded->meta.columns[1].num_categories, 4);
+  EXPECT_EQ(loaded->meta.norm_lo, meta.norm_lo);
+  EXPECT_EQ(loaded->meta.norm_hi, meta.norm_hi);
+  ASSERT_EQ(loaded->params.size(), 2u);
+  EXPECT_EQ(loaded->params[0].name, "g.l0.W");
+  EXPECT_TRUE(loaded->params[0].value.AllClose(store.value(0), 0.0));
+  EXPECT_TRUE(loaded->params[1].value.AllClose(store.value(1), 0.0));
+
+  // LoadParams accepts v2 files too (metadata ignored).
+  ParamStore restored;
+  restored.Add("g.l0.W", Matrix::Zeros(6, 3));
+  restored.Add("g.l0.b", Matrix::Zeros(1, 3));
+  ASSERT_TRUE(LoadParams(restored, path).ok());
+  EXPECT_TRUE(restored.value(0).AllClose(store.value(0), 0.0));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadCheckpointReadsLegacyV1) {
+  ParamStore store;
+  store.Add("w", Matrix{{1.5, -2.25}});
+  const std::string path = "/tmp/scis_params_v1_compat.txt";
+  ASSERT_TRUE(SaveParams(store, path).ok());
+  Result<Checkpoint> loaded = LoadCheckpoint(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->version, 1);
+  EXPECT_TRUE(loaded->meta.columns.empty());
+  ASSERT_EQ(loaded->params.size(), 1u);
+  EXPECT_TRUE(loaded->params[0].value.AllClose(store.value(0), 0.0));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, SaveCheckpointValidatesMeta) {
+  ParamStore store;
+  store.Add("w", Matrix{{1.0}});
+  CheckpointMeta meta;
+  meta.model = "GAIN";
+  meta.columns = {{"c0", 0, 0}};
+  meta.norm_lo = {0.0, 1.0};  // size disagrees with columns
+  meta.norm_hi = {1.0, 2.0};
+  EXPECT_EQ(SaveCheckpoint(store, meta, "/tmp/scis_params_bad.txt").code(),
+            StatusCode::kInvalidArgument);
+  meta.model.clear();
+  meta.norm_lo = {0.0};
+  meta.norm_hi = {1.0};
+  EXPECT_EQ(SaveCheckpoint(store, meta, "/tmp/scis_params_bad.txt").code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(SerializeTest, TrainedGainCheckpointRestoresImputations) {
   Rng rng(2);
   Matrix values = rng.UniformMatrix(120, 3, 0, 1);
