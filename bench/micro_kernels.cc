@@ -4,17 +4,23 @@
 // the DESIGN.md ablation on log-domain Sinkhorn cost vs λ.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
 
 #include "core/dim.h"
+#include "kernels/elementwise.h"
+#include "kernels/lse.h"
 #include "models/gain_imputer.h"
 #include "models/tree.h"
 #include "nn/layers.h"
@@ -256,12 +262,132 @@ BENCHMARK(BM_MatMulThreadSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// --bench-json mode: a hand-rolled sweep over the src/kernels-backed hot
+// paths, emitting machine-readable per-kernel ns/op at 1/2/4/8 threads.
+// This is the file checked in as bench/BENCH_kernels.json (the perf
+// baseline new PRs diff against; see EXPERIMENTS.md for methodology).
+// Deliberately not google-benchmark: the schema stays stable and tiny, and
+// quick mode is fast enough to run as a CI smoke test.
+
+double TimeNsPerOp(const std::function<void()>& op, double min_seconds) {
+  op();  // warm-up (first-touch, pool spin-up)
+  int reps = 1;
+  for (;;) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) op();
+    const double sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (sec >= min_seconds || reps >= (1 << 22)) {
+      return sec * 1e9 / static_cast<double>(reps);
+    }
+    const double grow = sec > 0.0 ? 1.3 * min_seconds / sec : 8.0;
+    reps = static_cast<int>(static_cast<double>(reps) *
+                            std::max(2.0, grow));
+  }
+}
+
+int RunKernelBenchJson(const std::string& path, bool quick) {
+  struct BenchCase {
+    std::string name;
+    std::function<void()> op;
+  };
+  const double min_sec = quick ? 0.02 : 0.25;
+  const size_t sink_n = quick ? 256 : 1000;
+  const size_t mm_n = quick ? 128 : 512;
+  const size_t tmm_n = quick ? 96 : 256;
+  const size_t map_n = quick ? 128 : 512;
+  const size_t vec_n = 1 << 16;
+
+  Rng rng(42);
+  Matrix x = rng.UniformMatrix(sink_n, 8, 0, 1);
+  Matrix cost = PairwiseSquaredDistances(x, x);
+  SinkhornOptions opts;
+  opts.lambda = 130.0;
+  opts.max_iters = 5;
+  opts.tol = 0.0;  // fixed work: 5 dual iterations + plan recovery
+  Matrix a = rng.NormalMatrix(mm_n, mm_n);
+  Matrix b = rng.NormalMatrix(mm_n, mm_n);
+  Matrix ta = rng.NormalMatrix(tmm_n, tmm_n);
+  Matrix tb = rng.NormalMatrix(tmm_n, tmm_n);
+  Matrix mp = rng.UniformMatrix(map_n, map_n, -6.0, 2.0);
+  Matrix w = rng.UniformMatrix(1, vec_n, 0.0, 1.0);
+  Matrix p = rng.UniformMatrix(1, vec_n, 0.0, 1.0);
+  Matrix y = rng.UniformMatrix(1, vec_n, 0.0, 1.0);
+  Matrix acc = Matrix::Ones(1, vec_n);
+
+  const std::vector<BenchCase> cases = {
+      {"sinkhorn_solve_" + std::to_string(sink_n),
+       [&] { benchmark::DoNotOptimize(SolveSinkhorn(cost, opts).reg_value); }},
+      {"matmul_" + std::to_string(mm_n),
+       [&] { benchmark::DoNotOptimize(MatMul(a, b)); }},
+      {"matmul_transa_" + std::to_string(tmm_n),
+       [&] { benchmark::DoNotOptimize(MatMulTransA(ta, tb)); }},
+      {"matmul_transb_" + std::to_string(tmm_n),
+       [&] { benchmark::DoNotOptimize(MatMulTransB(ta, tb)); }},
+      {"transpose_" + std::to_string(mm_n),
+       [&] { benchmark::DoNotOptimize(Transpose(a)); }},
+      {"exp_map_" + std::to_string(map_n),
+       [&] { benchmark::DoNotOptimize(Exp(mp)); }},
+      {"sigmoid_map_" + std::to_string(map_n),
+       [&] { benchmark::DoNotOptimize(Sigmoid(mp)); }},
+      {"logsumexp_" + std::to_string(vec_n),
+       [&] {
+         benchmark::DoNotOptimize(kernels::LogSumExp(p.data(), vec_n));
+       }},
+      {"weighted_sse_" + std::to_string(vec_n),
+       [&] {
+         benchmark::DoNotOptimize(
+             kernels::WeightedSse(w.data(), p.data(), y.data(), vec_n));
+       }},
+      {"axpy_" + std::to_string(vec_n),
+       [&] { AxpyInPlace(acc, 1e-9, p); }},
+  };
+
+  const int thread_arms[] = {1, 2, 4, 8};
+  // results[case][arm] — the 1-thread arm is the serial code path.
+  std::vector<std::array<double, 4>> results(cases.size());
+  for (int t = 0; t < 4; ++t) {
+    runtime::SetNumThreads(thread_arms[t]);
+    for (size_t c = 0; c < cases.size(); ++c) {
+      results[c][t] = TimeNsPerOp(cases[c].op, min_sec);
+    }
+  }
+  runtime::SetNumThreads(0);
+
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::printf("bench-json: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"schema\": \"scis-bench-kernels-v1\",\n");
+  std::fprintf(out, "  \"mode\": \"%s\",\n", quick ? "quick" : "full");
+  std::fprintf(out, "  \"kernels\": [\n");
+  for (size_t c = 0; c < cases.size(); ++c) {
+    std::fprintf(out, "    {\"name\": \"%s\", \"ns_per_op\": {",
+                 cases[c].name.c_str());
+    for (int t = 0; t < 4; ++t) {
+      std::fprintf(out, "%s\"%d\": %.1f", t ? ", " : "", thread_arms[t],
+                   results[c][t]);
+    }
+    std::fprintf(out, "}}%s\n", c + 1 < cases.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("bench json written to %s (%zu kernels, mode=%s)\n",
+              path.c_str(), cases.size(), quick ? "quick" : "full");
+  return 0;
+}
+
 }  // namespace scis
 
 int main(int argc, char** argv) {
-  // --threads=<n>, --trace-out=<p> and --report-out=<p> are ours; strip
-  // them before google-benchmark sees the argv.
-  std::string trace_out, report_out;
+  // --threads=<n>, --trace-out=<p>, --report-out=<p>, --bench-json=<p> and
+  // --quick are ours; strip them before google-benchmark sees the argv.
+  std::string trace_out, report_out, bench_json;
+  bool quick = false;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
@@ -270,11 +396,18 @@ int main(int argc, char** argv) {
       trace_out = argv[i] + 12;
     } else if (std::strncmp(argv[i], "--report-out=", 13) == 0) {
       report_out = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--bench-json=", 13) == 0) {
+      bench_json = argv[i] + 13;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
     } else {
       argv[kept++] = argv[i];
     }
   }
   argc = kept;
+  if (!bench_json.empty()) {
+    return scis::RunKernelBenchJson(bench_json, quick);
+  }
   if (!trace_out.empty()) {
     scis::obs::ClearTrace();
     scis::obs::SetTraceEnabled(true);

@@ -43,6 +43,17 @@ case "$MODE" in
     wait "$SERVE_PID"
     cmp "$SMOKE/offline.csv" "$SMOKE/served.csv"
     echo "serve loopback smoke: OK (served == offline, bit-identical)"
+
+    # Perf smoke: the kernel bench sweep must run to completion and emit a
+    # parseable json (quick mode — small sizes, short timing windows; the
+    # committed baseline in bench/BENCH_kernels.json is full mode).
+    ./build/bench/micro_kernels --bench-json="$SMOKE/bench.json" --quick \
+      >/dev/null
+    python3 -c "import json,sys; d=json.load(open(sys.argv[1])); \
+assert d['schema']=='scis-bench-kernels-v1' and d['kernels'], d" \
+      "$SMOKE/bench.json"
+    echo "kernel bench smoke: OK ($(python3 -c "import json,sys; \
+print(len(json.load(open(sys.argv[1]))['kernels']))" "$SMOKE/bench.json") kernels)"
     ;;
   nightly)
     # High iteration counts: the nightly executable scales its property

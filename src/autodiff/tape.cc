@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "kernels/elementwise.h"
+#include "kernels/lse.h"
+#include "runtime/parallel_for.h"
 #include "tensor/sparse.h"
 
 namespace scis {
@@ -279,8 +282,7 @@ Var MulColBroadcast(Var a, Var col) {
   SCIS_CHECK(cv.cols() == 1 && cv.rows() == av.rows());
   Matrix out = av;
   for (size_t i = 0; i < out.rows(); ++i) {
-    double* row = out.row_data(i);
-    for (size_t j = 0; j < out.cols(); ++j) row[j] *= cv(i, 0);
+    kernels::ScaleInPlace(out.row_data(i), cv(i, 0), out.cols());
   }
   return t->Node(std::move(out), {a, col},
                  [a, col](Tape& tape, const Matrix& g) {
@@ -288,9 +290,8 @@ Var MulColBroadcast(Var a, Var col) {
                      Matrix ga = g;
                      const Matrix& c2 = col.value();
                      for (size_t i = 0; i < ga.rows(); ++i) {
-                       double* row = ga.row_data(i);
-                       for (size_t j = 0; j < ga.cols(); ++j)
-                         row[j] *= c2(i, 0);
+                       kernels::ScaleInPlace(ga.row_data(i), c2(i, 0),
+                                             ga.cols());
                      }
                      tape.AccumulateGrad(a, ga);
                    }
@@ -305,23 +306,18 @@ Var RowLogSumExp(Var a) {
   const size_t n = av.rows(), k = av.cols();
   Matrix out(n, 1);
   Matrix softmax(n, k);  // cached for backward
-  for (size_t i = 0; i < n; ++i) {
-    const double* row = av.row_data(i);
-    double mx = row[0];
-    for (size_t j = 1; j < k; ++j) mx = std::max(mx, row[j]);
-    double acc = 0.0;
-    for (size_t j = 0; j < k; ++j) acc += std::exp(row[j] - mx);
-    out(i, 0) = mx + std::log(acc);
-    for (size_t j = 0; j < k; ++j) {
-      softmax(i, j) = std::exp(row[j] - mx) / acc;
+  // Rows are independent; SoftmaxRow fuses the max, exp-accumulate, and
+  // normalization passes (see kernels/lse.h).
+  runtime::ParallelFor(0, n, runtime::GrainForWork(n, 4 * k),
+                       [&](size_t ib, size_t ie) {
+    for (size_t i = ib; i < ie; ++i) {
+      out(i, 0) = kernels::SoftmaxRow(av.row_data(i), k, softmax.row_data(i));
     }
-  }
+  });
   return Unary(a, std::move(out), [softmax](const Matrix& g) {
     Matrix ga = softmax;
     for (size_t i = 0; i < ga.rows(); ++i) {
-      const double gi = g(i, 0);
-      double* row = ga.row_data(i);
-      for (size_t j = 0; j < ga.cols(); ++j) row[j] *= gi;
+      kernels::ScaleInPlace(ga.row_data(i), g(i, 0), ga.cols());
     }
     return ga;
   });
@@ -335,14 +331,20 @@ Var WeightedMseLoss(Var pred, Var target, Var weight) {
   SCIS_CHECK(p.SameShape(y) && p.SameShape(w));
   double wsum = Sum(w);
   if (wsum <= 0) wsum = 1.0;  // fully-missing batch: zero loss, zero grad
-  Matrix diff = Sub(p, y);
-  Matrix wdiff = Mul(w, diff);
+  // Fused forward: Σ w (p−y)² in one pass, no diff/wdiff temporaries.
   Matrix out(1, 1);
-  out(0, 0) = Dot(wdiff, diff) / wsum;
+  out(0, 0) = kernels::WeightedSse(w.data(), p.data(), y.data(), p.size()) /
+              wsum;
   return t->Node(std::move(out), {pred, target, weight},
-                 [pred, target, wdiff, wsum](Tape& tape, const Matrix& g) {
+                 [pred, target, weight, wsum](Tape& tape, const Matrix& g) {
                    // d/dp [ sum w (p-y)^2 / wsum ] = 2 w (p-y) / wsum
-                   Matrix gp = MulScalar(wdiff, 2.0 * g(0, 0) / wsum);
+                   const Matrix& pv = pred.value();
+                   const Matrix& yv = target.value();
+                   const Matrix& wv = weight.value();
+                   Matrix gp(pv.rows(), pv.cols());
+                   kernels::WeightedDiff(wv.data(), pv.data(), yv.data(),
+                                         2.0 * g(0, 0) / wsum, gp.data(),
+                                         pv.size());
                    if (tape.requires_grad(pred)) tape.AccumulateGrad(pred, gp);
                    if (tape.requires_grad(target))
                      tape.AccumulateGrad(target, MulScalar(gp, -1.0));

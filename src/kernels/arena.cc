@@ -1,0 +1,38 @@
+#include "kernels/arena.h"
+
+#include <memory>
+#include <vector>
+
+namespace scis::kernels {
+
+namespace {
+
+// One growable buffer per nesting depth, per thread. unique_ptr keeps the
+// buffers' addresses stable while the outer vector reallocates.
+struct ArenaTls {
+  std::vector<std::unique_ptr<std::vector<double>>> slots;
+  size_t depth = 0;
+};
+
+ArenaTls& Tls() {
+  thread_local ArenaTls tls;
+  return tls;
+}
+
+}  // namespace
+
+ScopedScratch::ScopedScratch(size_t n) {
+  ArenaTls& tls = Tls();
+  if (tls.depth == tls.slots.size()) {
+    tls.slots.push_back(std::make_unique<std::vector<double>>());
+  }
+  std::vector<double>& buf = *tls.slots[tls.depth];
+  ++tls.depth;
+  if (buf.size() < n) buf.resize(n);
+  ptr_ = buf.data();
+  size_ = n;
+}
+
+ScopedScratch::~ScopedScratch() { --Tls().depth; }
+
+}  // namespace scis::kernels

@@ -1,0 +1,45 @@
+// Per-thread scratch arena for kernel temporaries.
+//
+// Hot kernels (the Sinkhorn dual update, transposed matmul packing) need a
+// flat double buffer per worker. Allocating a std::vector inside every
+// ParallelFor chunk serializes threads on the allocator and re-faults pages
+// each chunk; ScopedScratch instead hands out thread-local buffers that are
+// grabbed once per chunk and reused across chunks, solves, and parallel
+// regions. After warm-up no kernel allocates on the hot path.
+//
+// Usage (stack discipline, RAII):
+//   ScopedScratch s(n);
+//   double* t = s.data();   // n doubles, uninitialized/stale — overwrite
+//
+// Nested scopes on one thread get distinct buffers (a small per-thread
+// stack keyed by depth), so a kernel that itself runs under a nested
+// parallel region cannot clobber its caller's scratch. Buffers only grow;
+// the high-water mark per (thread, depth) slot is retained until thread
+// exit. Scratch never feeds back into results, so it has no effect on the
+// runtime determinism contract.
+#ifndef SCIS_KERNELS_ARENA_H_
+#define SCIS_KERNELS_ARENA_H_
+
+#include <cstddef>
+
+namespace scis::kernels {
+
+class ScopedScratch {
+ public:
+  explicit ScopedScratch(size_t n);
+  ~ScopedScratch();
+
+  ScopedScratch(const ScopedScratch&) = delete;
+  ScopedScratch& operator=(const ScopedScratch&) = delete;
+
+  double* data() { return ptr_; }
+  size_t size() const { return size_; }
+
+ private:
+  double* ptr_;
+  size_t size_;
+};
+
+}  // namespace scis::kernels
+
+#endif  // SCIS_KERNELS_ARENA_H_

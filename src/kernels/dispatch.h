@@ -1,0 +1,32 @@
+// Runtime ISA dispatch for the hot kernel entry points.
+//
+// SCIS_KERNEL_CLONES expands to GCC's target_clones attribute: the function
+// is compiled once at the portable baseline ISA and once for AVX2, and an
+// ifunc resolver picks the widest clone the CPU supports at load time. The
+// committed build therefore stays runnable on any x86-64, while machines
+// with 256-bit vectors get ~2x the per-element throughput on the
+// exp-heavy Sinkhorn and reduction kernels.
+//
+// Why the clones are bit-identical to the baseline: the AVX2 target does
+// NOT enable FMA (a separate ISA bit target_clones("avx2") leaves off), so
+// the compiler cannot contract a*b+c — every clone executes the same
+// multiplies and adds, just on wider vectors. The kernels fix their own
+// association with kLanes-wide accumulator arrays and shape-derived tile
+// layouts, so lane→vector packing is the only thing that changes with the
+// ISA, and results match the baseline clone bit for bit. Tests and goldens
+// are valid under either clone.
+//
+// The attribute is dropped under the sanitizers: ifunc resolvers run during
+// early relocation, before the sanitizer runtimes finish initializing, and
+// the tsan/asan presets measure correctness, not speed.
+#ifndef SCIS_KERNELS_DISPATCH_H_
+#define SCIS_KERNELS_DISPATCH_H_
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_THREAD__) && !defined(__SANITIZE_ADDRESS__)
+#define SCIS_KERNEL_CLONES __attribute__((target_clones("default", "avx2")))
+#else
+#define SCIS_KERNEL_CLONES
+#endif
+
+#endif  // SCIS_KERNELS_DISPATCH_H_

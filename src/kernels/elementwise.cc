@@ -1,0 +1,119 @@
+#include "kernels/elementwise.h"
+
+#include "kernels/dispatch.h"
+
+#include "kernels/exp.h"
+#include "kernels/lane_reduce.h"
+
+namespace scis::kernels {
+
+using internal::LaneSum;
+
+// The reduction loops all follow the same shape: a main loop that feeds
+// kLanes accumulators in lockstep (the form the auto-vectorizer turns into
+// vector accumulators), then a tail that drops the remaining r < kLanes
+// elements into lanes 0..r-1. Both parts depend only on n.
+
+SCIS_KERNEL_CLONES
+double Sum(const double* __restrict v, size_t n) {
+  double acc[kLanes] = {};
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    for (size_t l = 0; l < kLanes; ++l) acc[l] += v[i + l];
+  }
+  for (size_t l = 0; i < n; ++i, ++l) acc[l] += v[i];
+  return LaneSum(acc);
+}
+
+SCIS_KERNEL_CLONES
+double Dot(const double* __restrict a, const double* __restrict b, size_t n) {
+  double acc[kLanes] = {};
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    for (size_t l = 0; l < kLanes; ++l) acc[l] += a[i + l] * b[i + l];
+  }
+  for (size_t l = 0; i < n; ++i, ++l) acc[l] += a[i] * b[i];
+  return LaneSum(acc);
+}
+
+SCIS_KERNEL_CLONES
+double SquaredNorm(const double* __restrict v, size_t n) {
+  double acc[kLanes] = {};
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    for (size_t l = 0; l < kLanes; ++l) acc[l] += v[i + l] * v[i + l];
+  }
+  for (size_t l = 0; i < n; ++i, ++l) acc[l] += v[i] * v[i];
+  return LaneSum(acc);
+}
+
+SCIS_KERNEL_CLONES
+void Axpy(double alpha, const double* __restrict x, double* __restrict y,
+          size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+SCIS_KERNEL_CLONES
+void ScaledMulAdd(double alpha, const double* __restrict x,
+                  const double* __restrict y, double* __restrict out,
+                  size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] += alpha * x[i] * y[i];
+}
+
+SCIS_KERNEL_CLONES
+void ScaleInPlace(double* __restrict v, double s, size_t n) {
+  for (size_t i = 0; i < n; ++i) v[i] *= s;
+}
+
+SCIS_KERNEL_CLONES
+void ExpArray(const double* __restrict in, double* __restrict out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = ExpD(in[i]);
+}
+
+SCIS_KERNEL_CLONES
+void SigmoidArray(const double* __restrict in, double* __restrict out,
+                  size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const double x = in[i];
+    // Same two expressions as the scalar sign-split sigmoid, selected
+    // branch-free: e = exp(-|x|), then 1/(1+e) or e/(1+e).
+    const double e = ExpD(x >= 0.0 ? -x : x);
+    const double num = x >= 0.0 ? 1.0 : e;
+    out[i] = num / (1.0 + e);
+  }
+}
+
+SCIS_KERNEL_CLONES
+double WeightedSse(const double* __restrict w, const double* __restrict p,
+                   const double* __restrict y, size_t n) {
+  double acc[kLanes] = {};
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    for (size_t l = 0; l < kLanes; ++l) {
+      const double d = p[i + l] - y[i + l];
+      acc[l] += w[i + l] * d * d;
+    }
+  }
+  for (size_t l = 0; i < n; ++i, ++l) {
+    const double d = p[i] - y[i];
+    acc[l] += w[i] * d * d;
+  }
+  return LaneSum(acc);
+}
+
+SCIS_KERNEL_CLONES
+void WeightedDiff(const double* __restrict w, const double* __restrict p,
+                  const double* __restrict y, double s, double* __restrict out,
+                  size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = s * w[i] * (p[i] - y[i]);
+}
+
+SCIS_KERNEL_CLONES
+void MaskedGradFinish(const double* __restrict m, const double* __restrict a,
+                      double prow, double* __restrict g, size_t n) {
+  for (size_t k = 0; k < n; ++k) {
+    g[k] = 2.0 * m[k] * (prow * m[k] * a[k] + g[k]);
+  }
+}
+
+}  // namespace scis::kernels

@@ -1,0 +1,70 @@
+// Fixed-lane elementwise and reduction kernels over contiguous spans.
+//
+// Every reduction here accumulates into kLanes independent partial sums
+// (lane l takes elements l, l+kLanes, l+2·kLanes, …) and combines them with
+// a fixed pairwise tree. The association therefore depends only on the span
+// length — never on the thread count or on how a caller chunks the range —
+// which is what lets these loops vectorize while preserving the runtime
+// determinism contract (see runtime/parallel_for.h). Callers that split a
+// range across threads must split at positions derived only from the
+// problem shape; the per-chunk partials then combine in chunk order exactly
+// as ParallelReduce prescribes.
+//
+// Implementations live in elementwise.cc, which is compiled with the
+// kernel-only vectorization flags (see src/kernels/CMakeLists.txt); keeping
+// them out of line also guarantees a single definition of each loop, so
+// results cannot depend on which translation unit invoked a kernel.
+#ifndef SCIS_KERNELS_ELEMENTWISE_H_
+#define SCIS_KERNELS_ELEMENTWISE_H_
+
+#include <cstddef>
+
+namespace scis::kernels {
+
+// Lane count for every fixed-lane reduction in src/kernels. 8 doubles = one
+// 512-bit vector, or 2/4 accumulator registers at 128/256-bit ISAs — enough
+// independent chains to hide FP add latency on any of them.
+inline constexpr size_t kLanes = 8;
+
+// Σ v[i]. Fixed-lane association (see file comment).
+double Sum(const double* v, size_t n);
+
+// Σ a[i]·b[i].
+double Dot(const double* a, const double* b, size_t n);
+
+// Σ v[i]².
+double SquaredNorm(const double* v, size_t n);
+
+// y[i] += alpha · x[i].
+void Axpy(double alpha, const double* x, double* y, size_t n);
+
+// out[i] += alpha · x[i] · y[i]  (fused masked rank-1 accumulation).
+void ScaledMulAdd(double alpha, const double* x, const double* y, double* out,
+                  size_t n);
+
+// v[i] *= s.
+void ScaleInPlace(double* v, double s, size_t n);
+
+// out[i] = ExpD(in[i])  (vectorized exp; see kernels/exp.h for accuracy).
+void ExpArray(const double* in, double* out, size_t n);
+
+// out[i] = sigmoid(in[i]), computed with the same sign-split as the scalar
+// form (1/(1+e^-x) for x ≥ 0, e^x/(1+e^x) otherwise) but branch-free.
+void SigmoidArray(const double* in, double* out, size_t n);
+
+// Σ w[i]·(p[i] − y[i])²  — the fused weighted-SSE forward pass.
+double WeightedSse(const double* w, const double* p, const double* y,
+                   size_t n);
+
+// out[i] = s · w[i] · (p[i] − y[i])  — the matching gradient pass.
+void WeightedDiff(const double* w, const double* p, const double* y, double s,
+                  double* out, size_t n);
+
+// g[k] = 2·m[k]·(prow·m[k]·a[k] + g[k])  — the closing step of the masked
+// OT gradient (ot/masked_cost.cc), fused so the row is finished in one pass.
+void MaskedGradFinish(const double* m, const double* a, double prow, double* g,
+                      size_t n);
+
+}  // namespace scis::kernels
+
+#endif  // SCIS_KERNELS_ELEMENTWISE_H_

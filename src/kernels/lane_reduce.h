@@ -1,0 +1,36 @@
+// Shared lane-combine helpers for the fixed-lane reductions in src/kernels.
+// Internal to the kernels library — include only from kernels/*.cc.
+//
+// The combine trees are fixed (pairwise over kLanes accumulators), so a
+// reduction's association is a function of the span length alone. Tail
+// elements (n mod kLanes) go to lanes 0..r-1 in order, which is likewise
+// shape-determined.
+#ifndef SCIS_KERNELS_LANE_REDUCE_H_
+#define SCIS_KERNELS_LANE_REDUCE_H_
+
+#include <cstddef>
+
+#include "kernels/elementwise.h"
+
+namespace scis::kernels {
+namespace internal {
+
+inline double LaneSum(const double acc[kLanes]) {
+  return ((acc[0] + acc[1]) + (acc[2] + acc[3])) +
+         ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+}
+
+inline double LaneMax(const double acc[kLanes]) {
+  const double a = acc[0] > acc[1] ? acc[0] : acc[1];
+  const double b = acc[2] > acc[3] ? acc[2] : acc[3];
+  const double c = acc[4] > acc[5] ? acc[4] : acc[5];
+  const double d = acc[6] > acc[7] ? acc[6] : acc[7];
+  const double ab = a > b ? a : b;
+  const double cd = c > d ? c : d;
+  return ab > cd ? ab : cd;
+}
+
+}  // namespace internal
+}  // namespace scis::kernels
+
+#endif  // SCIS_KERNELS_LANE_REDUCE_H_

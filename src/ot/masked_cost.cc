@@ -1,6 +1,7 @@
 #include "ot/masked_cost.h"
 
 #include "common/check.h"
+#include "kernels/elementwise.h"
 #include "runtime/parallel_for.h"
 #include "tensor/matrix_ops.h"
 
@@ -27,21 +28,16 @@ Matrix MaskedOtGradWrtA(const Matrix& plan, const Matrix& a, const Matrix& ma,
     for (size_t i = rb; i < re; ++i) {
       const double* ai = a.row_data(i);
       const double* mi = ma.row_data(i);
+      const double* pi = plan.row_data(i);
       double* gi = grad.row_data(i);
-      double prow = 0.0;  // Σ_j P_ij, to factor the m_i⊙a_i term out of j-loop
-      for (size_t j = 0; j < m; ++j) prow += plan(i, j);
+      // Σ_j P_ij, to factor the m_i⊙a_i term out of the j-loop.
+      const double prow = kernels::Sum(pi, m);
       for (size_t j = 0; j < m; ++j) {
-        const double pij = plan(i, j);
+        const double pij = pi[j];
         if (pij == 0.0) continue;
-        const double* bj = b.row_data(j);
-        const double* mj = mb.row_data(j);
-        for (size_t k = 0; k < d; ++k) {
-          gi[k] -= pij * mj[k] * bj[k];
-        }
+        kernels::ScaledMulAdd(-pij, mb.row_data(j), b.row_data(j), gi, d);
       }
-      for (size_t k = 0; k < d; ++k) {
-        gi[k] = 2.0 * mi[k] * (prow * mi[k] * ai[k] + gi[k]);
-      }
+      kernels::MaskedGradFinish(mi, ai, prow, gi, d);
     }
   });
   return grad;

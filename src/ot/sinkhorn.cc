@@ -5,6 +5,8 @@
 
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "kernels/lse.h"
+#include "kernels/matmul.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/parallel_for.h"
@@ -40,66 +42,57 @@ struct SinkhornMetrics {
   }
 };
 
-// log-sum-exp of v[j] over j, max-shifted.
-double LogSumExp(const std::vector<double>& v) {
-  double mx = v[0];
-  for (double x : v) mx = std::max(mx, x);
-  if (!std::isfinite(mx)) return mx;
-  double acc = 0.0;
-  for (double x : v) acc += std::exp(x - mx);
-  return mx + std::log(acc);
-}
-
 // Runs log-domain Sinkhorn iterations at weight `lam`, updating the dual
 // potentials f/g in place. Returns iterations used; sets `converged`.
+// `costT` is the transposed cost, built once per solve so the g-update
+// streams rows contiguously instead of walking the cost matrix
+// column-strided (an 8·m-byte stride — a TLB miss per element at the
+// paper's 1000×1000 scale).
 //
 // Both dual updates are embarrassingly parallel across their output index
 // (every g[j] reads all of f, every f[i] reads all of g, writes are
-// disjoint), so the row/column log-sum-exp loops run under
-// runtime::ParallelFor. Per-element arithmetic is untouched and the
-// convergence delta is a max-reduction (exact under any association), so
-// iterates — and therefore iteration counts — are bit-identical to the
-// serial path at any thread count.
-int RunIterations(const Matrix& cost, const std::vector<double>& loga,
+// disjoint), so the row chunks run the fused log-sum-exp kernel from
+// src/kernels/lse.h under runtime::ParallelFor. The per-iteration division
+// by λ is folded into the kernel as a multiply by a precomputed 1/λ, and
+// the marginal shifts (g/λ + log b, f/λ + log a) are refreshed once per
+// half-iteration in O(n + m). Kernel association is fixed by the row length
+// and the convergence delta is a max-reduction (exact under any
+// association), so iterates — and therefore iteration counts — are
+// bit-identical to the serial path at any thread count.
+int RunIterations(const Matrix& cost, const Matrix& costT,
+                  const std::vector<double>& loga,
                   const std::vector<double>& logb, double lam, int max_iters,
                   double tol, std::vector<double>& f, std::vector<double>& g,
                   bool* converged) {
   SCIS_TRACE_SPAN("sinkhorn.iterate");
   const size_t n = cost.rows(), m = cost.cols();
+  const double inv_lam = 1.0 / lam;
   // Grains depend only on the matrix shape (determinism contract).
   const size_t col_grain = runtime::GrainForWork(m, n);
   const size_t row_grain = runtime::GrainForWork(n, m);
+  // Shift buffers, reused across iterations (the per-chunk scratch the old
+  // loops allocated now comes from the kernels' per-thread arena).
+  std::vector<double> sf(n), sg(m);
   *converged = false;
   int it = 0;
   for (; it < max_iters; ++it) {
     // g-update: enforce column marginals in the dual.
+    for (size_t i = 0; i < n; ++i) sf[i] = f[i] * inv_lam + loga[i];
     runtime::ParallelFor(0, m, col_grain, [&](size_t jb, size_t je) {
-      std::vector<double> buf(n);
-      for (size_t j = jb; j < je; ++j) {
-        for (size_t i = 0; i < n; ++i) {
-          buf[i] = (f[i] - cost(i, j)) / lam + loga[i];
-        }
-        g[j] = -lam * LogSumExp(buf);
-      }
+      kernels::SinkhornDualUpdateRows(costT.data(), inv_lam, sf.data(), lam,
+                                      jb, je, n, g.data());
     });
     // f-update: enforce row marginals, tracking the potential movement.
     // Convergence is declared when the potentials stop moving (relative to
     // λ) — equivalent to small marginal violation but O(1) to check, which
     // matters since this solver runs three times per DIM training batch.
+    for (size_t j = 0; j < m; ++j) sg[j] = g[j] * inv_lam + logb[j];
     const double delta = runtime::ParallelReduce(
         0, n, row_grain, 0.0,
         [&](size_t ib, size_t ie) {
-          std::vector<double> buf(m);
-          double d = 0.0;
-          for (size_t i = ib; i < ie; ++i) {
-            for (size_t j = 0; j < m; ++j) {
-              buf[j] = (g[j] - cost(i, j)) / lam + logb[j];
-            }
-            const double fnew = -lam * LogSumExp(buf);
-            d = std::max(d, std::abs(fnew - f[i]));
-            f[i] = fnew;
-          }
-          return d;
+          return kernels::SinkhornDualUpdateRows(cost.data(), inv_lam,
+                                                 sg.data(), lam, ib, ie, m,
+                                                 f.data());
         },
         [](double a, double b) { return std::max(a, b); });
     if (it > 0 && delta / lam < tol) {
@@ -148,6 +141,14 @@ SinkhornSolution SolveSinkhornWeighted(const Matrix& cost,
   // Dual potentials; P_ij = exp((f_i + g_j - C_ij)/λ + log a_i + log b_j).
   std::vector<double> f(n, 0.0), g(m, 0.0);
 
+  // Transposed cost for the g-update, built once per solve (λ-independent,
+  // so every ladder rung reuses it).
+  Matrix costT(m, n);
+  runtime::ParallelFor(0, n, runtime::GrainForWork(n, m),
+                       [&](size_t r0, size_t r1) {
+    kernels::TransposeScaleRows(cost.data(), n, m, 1.0, costT.data(), r0, r1);
+  });
+
   SinkhornSolution sol;
   if (opts.epsilon_scaling && opts.scaling_steps > 1) {
     // Warm-start down a geometric λ ladder: each rung only needs a rough
@@ -155,14 +156,14 @@ SinkhornSolution SolveSinkhornWeighted(const Matrix& cost,
     for (int s = opts.scaling_steps - 1; s >= 1; --s) {
       const double rung = lam * std::pow(2.0, static_cast<double>(s));
       bool conv = false;
-      sol.iters += RunIterations(cost, loga, logb, rung,
+      sol.iters += RunIterations(cost, costT, loga, logb, rung,
                                  std::min(50, std::max(2, opts.max_iters / 8)),
                                  std::max(opts.tol, 1e-4), f, g, &conv);
       metrics.ladder_rungs->Add(1);
     }
   }
   bool conv = false;
-  sol.iters += RunIterations(cost, loga, logb, lam,
+  sol.iters += RunIterations(cost, costT, loga, logb, lam,
                              opts.max_iters, opts.tol, f, g, &conv);
   sol.converged = conv;
   metrics.solves->Add(1);
@@ -176,6 +177,10 @@ SinkhornSolution SolveSinkhornWeighted(const Matrix& cost,
   SCIS_TRACE_SPAN("sinkhorn.plan");
   Stopwatch plan_watch;
   sol.plan = Matrix(n, m);
+  const double inv_lam = 1.0 / lam;
+  std::vector<double> fs(n), gs(m);
+  for (size_t i = 0; i < n; ++i) fs[i] = f[i] * inv_lam + loga[i];
+  for (size_t j = 0; j < m; ++j) gs[j] = g[j] * inv_lam + logb[j];
   struct PlanPartial {
     double cost = 0.0;
     double entropy = 0.0;
@@ -184,16 +189,9 @@ SinkhornSolution SolveSinkhornWeighted(const Matrix& cost,
       0, n, runtime::GrainForWork(n, m), PlanPartial{},
       [&](size_t ib, size_t ie) {
         PlanPartial part;
-        for (size_t i = ib; i < ie; ++i) {
-          double* prow = sol.plan.row_data(i);
-          for (size_t j = 0; j < m; ++j) {
-            const double p =
-                std::exp((f[i] + g[j] - cost(i, j)) / lam + loga[i] + logb[j]);
-            prow[j] = p;
-            part.cost += p * cost(i, j);
-            if (p > 0.0) part.entropy += p * std::log(p);
-          }
-        }
+        kernels::SinkhornPlanRows(cost.data(), inv_lam, fs.data(), gs.data(),
+                                  ib, ie, m, sol.plan.data(), &part.cost,
+                                  &part.entropy);
         return part;
       },
       [](PlanPartial acc, const PlanPartial& part) {

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "kernels/elementwise.h"
+#include "kernels/matmul.h"
 #include "runtime/parallel_for.h"
 
 namespace scis {
@@ -12,9 +15,11 @@ constexpr double kLogFloor = 1e-300;
 
 // Elementwise kernels parallelize over disjoint flat ranges (disjoint writes,
 // per-element arithmetic unchanged → bit-identical at any thread count).
-// Scalar reductions (Sum, Dot, norms) stay serial: re-associating them would
-// change results relative to the established seed numerics for no hot-path
-// win — they are memory-bound.
+// Scalar reductions (Sum, Dot, norms) go through the fixed-lane kernels in
+// src/kernels: their association is a function of the span length alone, so
+// they stay bit-identical at any thread count while vectorizing. (This
+// re-associated them once relative to the pre-kernel seed numerics; the
+// goldens were regenerated for that drift.)
 Matrix BinaryOp(const Matrix& a, const Matrix& b, double (*op)(double, double)) {
   SCIS_CHECK_MSG(a.SameShape(b), "elementwise op shape mismatch");
   Matrix out(a.rows(), a.cols());
@@ -28,27 +33,35 @@ Matrix BinaryOp(const Matrix& a, const Matrix& b, double (*op)(double, double)) 
                        });
   return out;
 }
+// Packs the right-hand side into column panels (parallel over panels), the
+// once-per-multiply setup both packed matmul kernels share.
+std::vector<double> PackRhs(const Matrix& b, size_t k, size_t n) {
+  std::vector<double> bp(kernels::PackedSize(k, n));
+  const size_t tiles = kernels::NumPanels(n);
+  runtime::ParallelFor(0, tiles,
+                       runtime::GrainForWork(tiles, k * kernels::kColTile),
+                       [&](size_t t0, size_t t1) {
+                         kernels::PackPanels(b.data(), k, n, t0, t1, bp.data());
+                       });
+  return bp;
+}
+
 }  // namespace
 
+// The three matmul variants run the register-tiled kernels from
+// src/kernels/matmul.h over output-row chunks. Grains are shape-derived and
+// rounded to the row-tile size so chunk boundaries coincide with tile
+// boundaries; per-element accumulation order is unchanged from the historic
+// kernels (see matmul.h for the exact determinism/drift statement).
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   SCIS_CHECK_MSG(a.cols() == b.rows(), "MatMul inner dimension mismatch");
   Matrix out(a.rows(), b.cols());
   const size_t m = a.rows(), k = a.cols(), n = b.cols();
-  // ikj loop order: streams through b and out rows contiguously. Output rows
-  // are independent, so the i-loop parallelizes with unchanged per-row
-  // arithmetic.
-  runtime::ParallelFor(0, m, runtime::GrainForWork(m, k * n),
-                       [&](size_t ib, size_t ie) {
-    for (size_t i = ib; i < ie; ++i) {
-      double* orow = out.row_data(i);
-      const double* arow = a.row_data(i);
-      for (size_t p = 0; p < k; ++p) {
-        const double av = arow[p];
-        if (av == 0.0) continue;
-        const double* brow = b.row_data(p);
-        for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-      }
-    }
+  const std::vector<double> bp = PackRhs(b, k, n);
+  const size_t grain =
+      kernels::RowAlignedGrain(runtime::GrainForWork(m, k * n));
+  runtime::ParallelFor(0, m, grain, [&](size_t i0, size_t i1) {
+    kernels::MatMulRowsPacked(a.data(), bp.data(), out.data(), i0, i1, k, n);
   });
   return out;
 }
@@ -57,20 +70,12 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   SCIS_CHECK_MSG(a.rows() == b.rows(), "MatMulTransA dimension mismatch");
   Matrix out(a.cols(), b.cols());
   const size_t m = a.cols(), k = a.rows(), n = b.cols();
-  // i-outer (output rows) so rows parallelize; the p-accumulation order per
-  // output element matches the previous p-outer form, keeping results
-  // bit-identical to the serial kernel.
-  runtime::ParallelFor(0, m, runtime::GrainForWork(m, k * n),
-                       [&](size_t ib, size_t ie) {
-    for (size_t i = ib; i < ie; ++i) {
-      double* orow = out.row_data(i);
-      for (size_t p = 0; p < k; ++p) {
-        const double av = a(p, i);
-        if (av == 0.0) continue;
-        const double* brow = b.row_data(p);
-        for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-      }
-    }
+  const std::vector<double> bp = PackRhs(b, k, n);
+  const size_t grain =
+      kernels::RowAlignedGrain(runtime::GrainForWork(m, k * n));
+  runtime::ParallelFor(0, m, grain, [&](size_t i0, size_t i1) {
+    kernels::MatMulTransARowsPacked(a.data(), m, bp.data(), out.data(), i0, i1,
+                                    k, n);
   });
   return out;
 }
@@ -79,18 +84,10 @@ Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   SCIS_CHECK_MSG(a.cols() == b.cols(), "MatMulTransB dimension mismatch");
   Matrix out(a.rows(), b.rows());
   const size_t m = a.rows(), k = a.cols(), n = b.rows();
-  runtime::ParallelFor(0, m, runtime::GrainForWork(m, k * n),
-                       [&](size_t ib, size_t ie) {
-    for (size_t i = ib; i < ie; ++i) {
-      const double* arow = a.row_data(i);
-      double* orow = out.row_data(i);
-      for (size_t j = 0; j < n; ++j) {
-        const double* brow = b.row_data(j);
-        double acc = 0.0;
-        for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-        orow[j] = acc;
-      }
-    }
+  const size_t grain =
+      kernels::RowAlignedGrain(runtime::GrainForWork(m, k * n));
+  runtime::ParallelFor(0, m, grain, [&](size_t i0, size_t i1) {
+    kernels::MatMulTransBRows(a.data(), b.data(), out.data(), i0, i1, k, n);
   });
   return out;
 }
@@ -98,9 +95,9 @@ Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
 Matrix Transpose(const Matrix& a) {
   Matrix out(a.cols(), a.rows());
   runtime::ParallelFor(0, a.rows(), runtime::GrainForWork(a.rows(), a.cols()),
-                       [&](size_t ib, size_t ie) {
-    for (size_t i = ib; i < ie; ++i)
-      for (size_t j = 0; j < a.cols(); ++j) out(j, i) = a(i, j);
+                       [&](size_t r0, size_t r1) {
+    kernels::TransposeScaleRows(a.data(), a.rows(), a.cols(), 1.0, out.data(),
+                                r0, r1);
   });
   return out;
 }
@@ -151,8 +148,7 @@ void AxpyInPlace(Matrix& a, double alpha, const Matrix& b) {
   const double* pb = b.data();
   runtime::ParallelFor(0, a.size(), runtime::GrainForWork(a.size(), 1),
                        [&](size_t kb, size_t ke) {
-                         for (size_t k = kb; k < ke; ++k)
-                           pa[k] += alpha * pb[k];
+                         kernels::Axpy(alpha, pb + kb, pa + kb, ke - kb);
                        });
 }
 
@@ -220,7 +216,12 @@ Matrix AddColBroadcast(const Matrix& a, const Matrix& col) {
   return out;
 }
 
-Matrix Map(const Matrix& a, const std::function<double(double)>& f) {
+namespace {
+// Inlined-callable Map: cheap per-element lambdas (relu, square, clamp)
+// compile to straight loops here instead of paying a std::function call per
+// element. The public std::function Map below routes through this too.
+template <typename F>
+Matrix UnaryOp(const Matrix& a, F&& f) {
   Matrix out(a.rows(), a.cols());
   const double* pa = a.data();
   double* po = out.data();
@@ -232,45 +233,55 @@ Matrix Map(const Matrix& a, const std::function<double(double)>& f) {
                        });
   return out;
 }
+}  // namespace
+
+Matrix Map(const Matrix& a, const std::function<double(double)>& f) {
+  return UnaryOp(a, f);
+}
 
 Matrix Sigmoid(const Matrix& a) {
-  return Map(a, [](double x) {
-    // Split on sign to avoid exp overflow.
-    return x >= 0 ? 1.0 / (1.0 + std::exp(-x))
-                  : std::exp(x) / (1.0 + std::exp(x));
-  });
+  Matrix out(a.rows(), a.cols());
+  const double* pa = a.data();
+  double* po = out.data();
+  runtime::ParallelFor(0, a.size(), runtime::GrainForWork(a.size(), 8),
+                       [&](size_t kb, size_t ke) {
+                         kernels::SigmoidArray(pa + kb, po + kb, ke - kb);
+                       });
+  return out;
 }
 Matrix Relu(const Matrix& a) {
-  return Map(a, [](double x) { return x > 0 ? x : 0.0; });
+  return UnaryOp(a, [](double x) { return x > 0 ? x : 0.0; });
 }
 Matrix Tanh(const Matrix& a) {
-  return Map(a, [](double x) { return std::tanh(x); });
+  return UnaryOp(a, [](double x) { return std::tanh(x); });
 }
 Matrix Exp(const Matrix& a) {
-  return Map(a, [](double x) { return std::exp(x); });
+  Matrix out(a.rows(), a.cols());
+  const double* pa = a.data();
+  double* po = out.data();
+  runtime::ParallelFor(0, a.size(), runtime::GrainForWork(a.size(), 8),
+                       [&](size_t kb, size_t ke) {
+                         kernels::ExpArray(pa + kb, po + kb, ke - kb);
+                       });
+  return out;
 }
 Matrix Log(const Matrix& a) {
-  return Map(a, [](double x) { return std::log(std::max(x, kLogFloor)); });
+  return UnaryOp(a, [](double x) { return std::log(std::max(x, kLogFloor)); });
 }
 Matrix Sqrt(const Matrix& a) {
-  return Map(a, [](double x) { return std::sqrt(x); });
+  return UnaryOp(a, [](double x) { return std::sqrt(x); });
 }
 Matrix Square(const Matrix& a) {
-  return Map(a, [](double x) { return x * x; });
+  return UnaryOp(a, [](double x) { return x * x; });
 }
 Matrix Abs(const Matrix& a) {
-  return Map(a, [](double x) { return std::abs(x); });
+  return UnaryOp(a, [](double x) { return std::abs(x); });
 }
 Matrix Clamp(const Matrix& a, double lo, double hi) {
-  return Map(a, [lo, hi](double x) { return std::clamp(x, lo, hi); });
+  return UnaryOp(a, [lo, hi](double x) { return std::clamp(x, lo, hi); });
 }
 
-double Sum(const Matrix& a) {
-  double acc = 0.0;
-  const double* p = a.data();
-  for (size_t k = 0; k < a.size(); ++k) acc += p[k];
-  return acc;
-}
+double Sum(const Matrix& a) { return kernels::Sum(a.data(), a.size()); }
 double Mean(const Matrix& a) {
   SCIS_CHECK_GT(a.size(), 0u);
   return Sum(a) / static_cast<double>(a.size());
@@ -284,18 +295,11 @@ double MaxValue(const Matrix& a) {
   return *std::max_element(a.data(), a.data() + a.size());
 }
 double FrobeniusNorm(const Matrix& a) {
-  double acc = 0.0;
-  const double* p = a.data();
-  for (size_t k = 0; k < a.size(); ++k) acc += p[k] * p[k];
-  return std::sqrt(acc);
+  return std::sqrt(kernels::SquaredNorm(a.data(), a.size()));
 }
 double Dot(const Matrix& a, const Matrix& b) {
   SCIS_CHECK(a.SameShape(b));
-  double acc = 0.0;
-  const double* pa = a.data();
-  const double* pb = b.data();
-  for (size_t k = 0; k < a.size(); ++k) acc += pa[k] * pb[k];
-  return acc;
+  return kernels::Dot(a.data(), b.data(), a.size());
 }
 
 Matrix RowSum(const Matrix& a) {
@@ -303,10 +307,7 @@ Matrix RowSum(const Matrix& a) {
   runtime::ParallelFor(0, a.rows(), runtime::GrainForWork(a.rows(), a.cols()),
                        [&](size_t ib, size_t ie) {
     for (size_t i = ib; i < ie; ++i) {
-      const double* p = a.row_data(i);
-      double acc = 0.0;
-      for (size_t j = 0; j < a.cols(); ++j) acc += p[j];
-      out(i, 0) = acc;
+      out(i, 0) = kernels::Sum(a.row_data(i), a.cols());
     }
   });
   return out;
@@ -359,15 +360,13 @@ Matrix PairwiseSquaredDistances(const Matrix& a, const Matrix& b) {
   runtime::ParallelFor(0, n, runtime::GrainForWork(n, d),
                        [&](size_t ib, size_t ie) {
     for (size_t i = ib; i < ie; ++i) {
-      const double* p = a.row_data(i);
-      for (size_t j = 0; j < d; ++j) a2[i] += p[j] * p[j];
+      a2[i] = kernels::SquaredNorm(a.row_data(i), d);
     }
   });
   runtime::ParallelFor(0, m, runtime::GrainForWork(m, d),
                        [&](size_t ib, size_t ie) {
     for (size_t i = ib; i < ie; ++i) {
-      const double* p = b.row_data(i);
-      for (size_t j = 0; j < d; ++j) b2[i] += p[j] * p[j];
+      b2[i] = kernels::SquaredNorm(b.row_data(i), d);
     }
   });
   Matrix out = MatMulTransB(a, b);

@@ -1,0 +1,297 @@
+// Differential tests of the src/kernels compute kernels against slow
+// references: the blocked matmuls vs the testkit schoolbook oracle, the
+// fused log-sum-exp and Sinkhorn kernels vs scalar std::exp re-derivations,
+// ExpD vs std::exp in ulps, plus the determinism contract — chunk-split
+// invariance at the kernel level and 1/2/4-thread bit-identity through the
+// public ops that now run on these kernels.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "kernels/arena.h"
+#include "kernels/elementwise.h"
+#include "kernels/exp.h"
+#include "kernels/lse.h"
+#include "ot/sinkhorn.h"
+#include "runtime/runtime.h"
+#include "tensor/matrix_ops.h"
+#include "tensor/rng.h"
+#include "testkit/gtest_glue.h"
+#include "testkit/oracles.h"
+
+namespace scis {
+namespace {
+
+using testkit::PropertyStatus;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Distance in representable doubles between two finite values of the same
+// sign (monotone total-order trick on the sign-flipped bit patterns).
+int64_t UlpDistance(double a, double b) {
+  auto key = [](double x) {
+    const int64_t i = std::bit_cast<int64_t>(x);
+    return i < 0 ? std::numeric_limits<int64_t>::min() - i : i;
+  };
+  const int64_t d = key(a) - key(b);
+  return d < 0 ? -d : d;
+}
+
+// Scalar, allocation-free re-derivation of one LSE through std::exp — an
+// independent implementation, not a refactor of the kernel.
+double ScalarLse(const double* v, size_t n) {
+  if (n == 0) return -kInf;
+  double mx = v[0];
+  for (size_t i = 1; i < n; ++i) mx = std::max(mx, v[i]);
+  if (!std::isfinite(mx)) return mx;
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += std::exp(v[i] - mx);
+  return mx + std::log(s);
+}
+
+TEST(KernelsExpTest, MatchesStdExpWithinUlps) {
+  CHECK_PROPERTY("expd_vs_std_exp_ulps", [](uint64_t seed) {
+    Rng rng(seed);
+    // Cover the argument magnitudes the solver actually feeds ExpD: tiny
+    // (near 0), moderate, and large-negative (Sinkhorn tails).
+    const double ranges[][2] = {{-1.0, 1.0}, {-40.0, 0.0}, {-700.0, 700.0}};
+    for (const auto& r : ranges) {
+      for (int k = 0; k < 64; ++k) {
+        const double x = rng.UniformMatrix(1, 1, r[0], r[1])(0, 0);
+        const double got = kernels::ExpD(x);
+        const double want = std::exp(x);
+        if (want == 0.0 || !std::isfinite(want)) continue;
+        // Skip the denormal range: ExpD flushes it to 0 by design.
+        if (want < std::numeric_limits<double>::min()) continue;
+        PROP_CHECK_MSG(UlpDistance(got, want) <= 4,
+                       "ExpD(" << x << ") = " << got << " vs std::exp "
+                               << want);
+      }
+    }
+    return PropertyStatus::Pass();
+  });
+}
+
+TEST(KernelsExpTest, EdgeCases) {
+  EXPECT_EQ(kernels::ExpD(0.0), 1.0);
+  EXPECT_EQ(kernels::ExpD(kInf), kInf);
+  EXPECT_EQ(kernels::ExpD(-kInf), 0.0);
+  EXPECT_TRUE(std::isnan(kernels::ExpD(std::nan(""))));
+  EXPECT_EQ(kernels::ExpD(710.0), kInf);
+  EXPECT_EQ(kernels::ExpD(-800.0), 0.0);
+  // Largest finite result: exp(709.78…) ≈ 1.79e308 < DBL_MAX.
+  EXPECT_TRUE(std::isfinite(kernels::ExpD(709.78271289338397)));
+  EXPECT_GT(kernels::ExpD(709.78271289338397), 1e308);
+  // Just past the clamp is +inf, not garbage.
+  EXPECT_EQ(kernels::ExpD(709.79), kInf);
+}
+
+TEST(KernelsLseTest, EmptySpanReturnsNegInfinity) {
+  // Regression for the historic sinkhorn.cc helper, which read v[0]
+  // unguarded: the empty sum is 0 and log 0 = -inf.
+  EXPECT_EQ(kernels::LogSumExp(nullptr, 0), -kInf);
+  EXPECT_EQ(kernels::MaxValue(nullptr, 0), -kInf);
+  EXPECT_EQ(kernels::SoftmaxRow(nullptr, 0, nullptr), -kInf);
+}
+
+TEST(KernelsLseTest, NonFiniteMaxShortCircuits) {
+  const std::vector<double> all_ninf(5, -kInf);
+  EXPECT_EQ(kernels::LogSumExp(all_ninf.data(), all_ninf.size()), -kInf);
+  const std::vector<double> with_inf = {0.0, kInf, 1.0};
+  EXPECT_EQ(kernels::LogSumExp(with_inf.data(), with_inf.size()), kInf);
+}
+
+TEST(KernelsVsOracle, LogSumExpMatchesScalarReference) {
+  CHECK_PROPERTY("lse_vs_scalar_reference", [](uint64_t seed) {
+    Rng rng(seed);
+    const size_t n = 1 + rng.UniformIndex(257);  // crosses several lane tails
+    const Matrix v = rng.UniformMatrix(1, n, -30.0, 10.0);
+    const double got = kernels::LogSumExp(v.data(), n);
+    const double want = ScalarLse(v.data(), n);
+    // got and want differ only by lane reassociation and ExpD-vs-libm ulps,
+    // both of which compress through the final log.
+    PROP_CHECK_MSG(UlpDistance(got, want) <= 64,
+                   "LSE " << got << " vs scalar " << want << " at n=" << n);
+    return PropertyStatus::Pass();
+  });
+}
+
+TEST(KernelsVsOracle, SinkhornDualUpdateMatchesScalarReference) {
+  CHECK_PROPERTY("dual_update_vs_scalar_reference", [](uint64_t seed) {
+    Rng rng(seed);
+    const size_t rows = 1 + rng.UniformIndex(12);
+    const size_t cols = 1 + rng.UniformIndex(40);
+    const double lam = 0.5 + rng.UniformMatrix(1, 1, 0.0, 4.0)(0, 0);
+    const Matrix cost = rng.UniformMatrix(rows, cols, 0.0, 8.0);
+    const Matrix shift = rng.UniformMatrix(1, cols, -2.0, 2.0);
+    std::vector<double> pot(rows, 0.3), ref(rows, 0.3);
+    const double dmax = kernels::SinkhornDualUpdateRows(
+        cost.data(), 1.0 / lam, shift.data(), lam, 0, rows, cols, pot.data());
+    double ref_dmax = 0.0;
+    std::vector<double> z(cols);
+    for (size_t i = 0; i < rows; ++i) {
+      for (size_t j = 0; j < cols; ++j) {
+        z[j] = shift(0, j) - cost(i, j) / lam;
+      }
+      const double fnew = -lam * ScalarLse(z.data(), cols);
+      ref_dmax = std::max(ref_dmax, std::abs(fnew - ref[i]));
+      ref[i] = fnew;
+    }
+    for (size_t i = 0; i < rows; ++i) {
+      PROP_CHECK_NEAR(pot[i], ref[i], 1e-10);
+    }
+    PROP_CHECK_NEAR(dmax, ref_dmax, 1e-9);
+    return PropertyStatus::Pass();
+  });
+}
+
+TEST(KernelsVsOracle, SinkhornPlanMatchesScalarReference) {
+  CHECK_PROPERTY("plan_rows_vs_scalar_reference", [](uint64_t seed) {
+    Rng rng(seed);
+    const size_t rows = 1 + rng.UniformIndex(10);
+    const size_t cols = 1 + rng.UniformIndex(30);
+    const double lam = 1.0 + rng.UniformMatrix(1, 1, 0.0, 3.0)(0, 0);
+    const Matrix cost = rng.UniformMatrix(rows, cols, 0.0, 6.0);
+    const Matrix fs = rng.UniformMatrix(1, rows, -8.0, 0.0);
+    const Matrix gs = rng.UniformMatrix(1, cols, -8.0, 0.0);
+    Matrix plan(rows, cols);
+    double csum = 0.0, esum = 0.0;
+    kernels::SinkhornPlanRows(cost.data(), 1.0 / lam, fs.data(), gs.data(), 0,
+                              rows, cols, plan.data(), &csum, &esum);
+    double ref_c = 0.0, ref_e = 0.0;
+    for (size_t i = 0; i < rows; ++i) {
+      for (size_t j = 0; j < cols; ++j) {
+        const double z = fs(0, i) + gs(0, j) - cost(i, j) / lam;
+        const double p = std::exp(z);
+        PROP_CHECK_NEAR(plan(i, j), p, 1e-12);
+        ref_c += p * cost(i, j);
+        if (p > 0.0) ref_e += p * z;
+      }
+    }
+    PROP_CHECK_NEAR(csum, ref_c, 1e-9);
+    PROP_CHECK_NEAR(esum, ref_e, 1e-9);
+    return PropertyStatus::Pass();
+  });
+}
+
+TEST(KernelsVsOracle, BlockedMatMulsMatchNaiveOracle) {
+  CHECK_PROPERTY("blocked_matmuls_vs_naive_oracle", [](uint64_t seed) {
+    Rng rng(seed);
+    // Sizes straddle the 4×4 tile boundaries so padded-panel and
+    // leftover-row paths all get exercised.
+    const size_t m = 1 + rng.UniformIndex(19);
+    const size_t k = 1 + rng.UniformIndex(19);
+    const size_t n = 1 + rng.UniformIndex(19);
+    const Matrix a = rng.NormalMatrix(m, k, 0.0, 1.0);
+    const Matrix b = rng.NormalMatrix(k, n, 0.0, 1.0);
+    PROP_CHECK_MSG(MatMul(a, b).AllClose(testkit::NaiveMatMul(a, b), 1e-10),
+                   "MatMul disagrees with the schoolbook oracle");
+    const Matrix ta = rng.NormalMatrix(k, m, 0.0, 1.0);  // (ta)ᵀ·b is m×n
+    PROP_CHECK_MSG(MatMulTransA(ta, b).AllClose(
+                       testkit::NaiveMatMul(Transpose(ta), b), 1e-10),
+                   "MatMulTransA disagrees with the schoolbook oracle");
+    const Matrix bt = rng.NormalMatrix(n, k, 0.0, 1.0);
+    PROP_CHECK_MSG(MatMulTransB(a, bt).AllClose(
+                       testkit::NaiveMatMul(a, Transpose(bt)), 1e-10),
+                   "MatMulTransB disagrees with the schoolbook oracle");
+    return PropertyStatus::Pass();
+  });
+}
+
+// The kernel-level determinism contract: splitting a row range into chunks
+// at any positions gives bit-identical output to one full-range call. This
+// is the property that makes thread-count invariance automatic for every
+// ParallelFor caller.
+TEST(KernelsDeterminismTest, DualUpdateIsChunkSplitInvariant) {
+  Rng rng(7);
+  const size_t rows = 23, cols = 57;
+  const double lam = 1.7;
+  const Matrix cost = rng.UniformMatrix(rows, cols, 0.0, 5.0);
+  const Matrix shift = rng.UniformMatrix(1, cols, -1.0, 1.0);
+  std::vector<double> whole(rows, 0.0);
+  kernels::SinkhornDualUpdateRows(cost.data(), 1.0 / lam, shift.data(), lam, 0,
+                                  rows, cols, whole.data());
+  for (const size_t step : {1ul, 3ul, 8ul}) {
+    std::vector<double> split(rows, 0.0);
+    for (size_t r = 0; r < rows; r += step) {
+      kernels::SinkhornDualUpdateRows(cost.data(), 1.0 / lam, shift.data(),
+                                      lam, r, std::min(r + step, rows), cols,
+                                      split.data());
+    }
+    EXPECT_EQ(split, whole) << "split at step " << step;
+  }
+}
+
+// Bit-identity at 1/2/4 threads through every public op the new kernels
+// back. operator== on Matrix is element-exact, so any reassociation across
+// thread counts fails loudly.
+TEST(KernelsDeterminismTest, PublicOpsAreThreadCountInvariant) {
+  Rng rng(11);
+  const Matrix a = rng.NormalMatrix(67, 43, 0.0, 1.0);
+  const Matrix b = rng.NormalMatrix(43, 51, 0.0, 1.0);
+  const Matrix bt = rng.NormalMatrix(51, 43, 0.0, 1.0);
+  const Matrix at = rng.NormalMatrix(43, 67, 0.0, 1.0);
+  const Matrix x = rng.UniformMatrix(60, 8, 0.0, 1.0);
+  const Matrix sq = PairwiseSquaredDistances(x, x);
+  SinkhornOptions opts;
+  opts.lambda = 2.0;
+  opts.max_iters = 20;
+  opts.tol = 0.0;
+
+  auto run_all = [&] {
+    std::vector<Matrix> out;
+    out.push_back(MatMul(a, b));
+    out.push_back(MatMulTransA(at, b));
+    out.push_back(MatMulTransB(a, bt));
+    out.push_back(Transpose(a));
+    out.push_back(Exp(a));
+    out.push_back(Sigmoid(a));
+    SinkhornSolution s = SolveSinkhorn(sq, opts);
+    out.push_back(s.plan);
+    Matrix fg(1, s.f.size() + s.g.size());
+    for (size_t i = 0; i < s.f.size(); ++i) fg(0, i) = s.f[i];
+    for (size_t j = 0; j < s.g.size(); ++j) fg(0, s.f.size() + j) = s.g[j];
+    out.push_back(fg);
+    return out;
+  };
+
+  runtime::SetNumThreads(1);
+  const std::vector<Matrix> serial = run_all();
+  for (const int t : {2, 4}) {
+    runtime::SetNumThreads(t);
+    const std::vector<Matrix> threaded = run_all();
+    ASSERT_EQ(threaded.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_TRUE(threaded[i] == serial[i])
+          << "op " << i << " differs bit-wise at " << t << " threads";
+    }
+  }
+  runtime::SetNumThreads(0);
+}
+
+TEST(KernelsArenaTest, ScratchGrowsAndNests) {
+  {
+    kernels::ScopedScratch outer(100);
+    for (size_t i = 0; i < 100; ++i) outer.data()[i] = 1.0;
+    {
+      kernels::ScopedScratch inner(50);
+      EXPECT_NE(inner.data(), outer.data());
+      for (size_t i = 0; i < 50; ++i) inner.data()[i] = 2.0;
+    }
+    // Inner scope must not have clobbered the outer buffer.
+    EXPECT_EQ(outer.data()[0], 1.0);
+    EXPECT_EQ(outer.data()[99], 1.0);
+  }
+  // Re-acquiring at depth 0 with a larger size reuses/grows the same slot.
+  kernels::ScopedScratch again(1000);
+  for (size_t i = 0; i < 1000; ++i) again.data()[i] = 3.0;
+  EXPECT_EQ(again.data()[999], 3.0);
+}
+
+}  // namespace
+}  // namespace scis
