@@ -1,0 +1,221 @@
+// index_build_query — src/index ANN build + query bench against brute force.
+//
+//   index_build_query [--quick] [--missing 0.15] [--queries 2000]
+//                     [--max_leaf_visits 48] [--bench-json bench/BENCH_index.json]
+//                     [--trace-out t.json] [--report-out r.json]
+//
+// Sweeps n (quick: 2k/8k; full: 8k/30k/120k) over uniform [0,1]^6 data with
+// MCAR missingness, and for each n reports: build time at 1/2/4 threads
+// (asserting the trees are bit-identical), single-thread per-query p50/p99
+// latency for the budgeted ANN search vs the exact brute-force scan,
+// recall@10 of ANN against brute force, and the total single-thread query
+// speedup. --bench-json writes the machine-readable sweep; the committed
+// baseline is bench/BENCH_index.json (full mode, see EXPERIMENTS.md).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/stopwatch.h"
+#include "index/ann_index.h"
+#include "tensor/rng.h"
+
+using namespace scis;
+
+namespace {
+
+struct SweepPoint {
+  size_t n = 0;
+  double build_sec[3] = {0, 0, 0};  // at 1 / 2 / 4 threads
+  bool bit_identical = false;
+  double brute_p50_us = 0, brute_p99_us = 0;
+  double ann_p50_us = 0, ann_p99_us = 0;
+  double speedup_total = 0;  // total brute time / total ann time, 1 thread
+  double recall_at_10 = 0;
+  size_t side_rows = 0, leaves = 0, depth = 0;
+};
+
+double Percentile(std::vector<double> v, double p) {
+  std::sort(v.begin(), v.end());
+  const size_t at = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[at];
+}
+
+SweepPoint RunPoint(size_t n, size_t d, double missing, size_t num_queries,
+                    size_t max_leaf_visits, uint64_t seed) {
+  Rng rng(seed);
+  Matrix values = rng.UniformMatrix(n, d, 0.0, 1.0);
+  Matrix mask = rng.BernoulliMatrix(n, d, 1.0 - missing);
+  for (size_t k = 0; k < values.size(); ++k) {
+    if (mask[k] == 0.0) values[k] = 0.0;
+  }
+
+  SweepPoint pt;
+  pt.n = n;
+  const int thread_arms[3] = {1, 2, 4};
+  index::AnnIndex idx;
+  pt.bit_identical = true;
+  for (int t = 0; t < 3; ++t) {
+    runtime::SetNumThreads(thread_arms[t]);
+    Stopwatch watch;
+    index::AnnIndex built = index::AnnIndex::Build(values, mask, {});
+    pt.build_sec[t] = watch.ElapsedSeconds();
+    if (t == 0) {
+      idx = std::move(built);
+    } else {
+      pt.bit_identical = pt.bit_identical && built == idx;
+    }
+  }
+  pt.side_rows = idx.num_side_rows();
+  pt.leaves = idx.num_leaves();
+  pt.depth = idx.depth();
+
+  // Single-thread query arms: every n-th row up to num_queries queries.
+  runtime::SetNumThreads(1);
+  index::SearchOptions sopts;
+  sopts.k = 10;
+  sopts.max_leaf_visits = max_leaf_visits;
+  const size_t q_count = std::min(num_queries, n);
+  const size_t stride = n / q_count;
+  std::vector<double> brute_us, ann_us;
+  brute_us.reserve(q_count);
+  ann_us.reserve(q_count);
+  double hits = 0.0, want = 0.0;
+  double brute_total = 0.0, ann_total = 0.0;
+  std::vector<std::vector<index::Neighbor>> ann_results(q_count);
+  for (size_t q = 0; q < q_count; ++q) {
+    const size_t i = q * stride;
+    Stopwatch watch;
+    const std::vector<index::Neighbor> exact = index::BruteForceSearch(
+        values, mask, values.row_data(i), mask.row_data(i), sopts.k, i);
+    brute_us.push_back(watch.ElapsedSeconds() * 1e6);
+    brute_total += brute_us.back();
+    watch.Restart();
+    ann_results[q] =
+        idx.Search(values.row_data(i), mask.row_data(i), sopts, i);
+    ann_us.push_back(watch.ElapsedSeconds() * 1e6);
+    ann_total += ann_us.back();
+    for (const index::Neighbor& nb : exact) {
+      want += 1.0;
+      for (const index::Neighbor& got : ann_results[q]) {
+        if (got.row == nb.row) {
+          hits += 1.0;
+          break;
+        }
+      }
+    }
+  }
+  pt.brute_p50_us = Percentile(brute_us, 0.50);
+  pt.brute_p99_us = Percentile(brute_us, 0.99);
+  pt.ann_p50_us = Percentile(ann_us, 0.50);
+  pt.ann_p99_us = Percentile(ann_us, 0.99);
+  pt.speedup_total = ann_total > 0.0 ? brute_total / ann_total : 0.0;
+  pt.recall_at_10 = want > 0.0 ? hits / want : 1.0;
+
+  // Query bit-identity: re-run the same queries at 2 and 4 threads.
+  for (int t = 1; t < 3; ++t) {
+    runtime::SetNumThreads(thread_arms[t]);
+    for (size_t q = 0; q < q_count; ++q) {
+      const size_t i = q * stride;
+      const std::vector<index::Neighbor> again =
+          idx.Search(values.row_data(i), mask.row_data(i), sopts, i);
+      pt.bit_identical = pt.bit_identical && again == ann_results[q];
+    }
+  }
+  runtime::SetNumThreads(0);
+  return pt;
+}
+
+int WriteBenchJson(const std::string& path, const std::vector<SweepPoint>& pts,
+                   bool quick, double missing, size_t d,
+                   size_t max_leaf_visits) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::printf("bench-json: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"schema\": \"scis-bench-index-v1\",\n");
+  std::fprintf(out, "  \"mode\": \"%s\",\n", quick ? "quick" : "full");
+  std::fprintf(out, "  \"dims\": %zu,\n", d);
+  std::fprintf(out, "  \"missing_rate\": %.3f,\n", missing);
+  std::fprintf(out, "  \"max_leaf_visits\": %zu,\n", max_leaf_visits);
+  std::fprintf(out, "  \"sweep\": [\n");
+  for (size_t i = 0; i < pts.size(); ++i) {
+    const SweepPoint& p = pts[i];
+    std::fprintf(out,
+                 "    {\"n\": %zu, "
+                 "\"build_seconds\": {\"1\": %.4f, \"2\": %.4f, \"4\": %.4f}, "
+                 "\"bit_identical_1_2_4_threads\": %s, "
+                 "\"leaves\": %zu, \"depth\": %zu, \"side_rows\": %zu, "
+                 "\"brute_p50_us\": %.1f, \"brute_p99_us\": %.1f, "
+                 "\"ann_p50_us\": %.1f, \"ann_p99_us\": %.1f, "
+                 "\"speedup_single_thread\": %.2f, "
+                 "\"recall_at_10\": %.4f}%s\n",
+                 p.n, p.build_sec[0], p.build_sec[1], p.build_sec[2],
+                 p.bit_identical ? "true" : "false", p.leaves, p.depth,
+                 p.side_rows, p.brute_p50_us, p.brute_p99_us, p.ann_p50_us,
+                 p.ann_p99_us, p.speedup_total, p.recall_at_10,
+                 i + 1 < pts.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("bench json written to %s (%zu points, mode=%s)\n", path.c_str(),
+              pts.size(), quick ? "quick" : "full");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long queries = 2000, max_leaf_visits = 48, threads = 0;
+  double missing = 0.15;
+  bool quick = false;
+  std::string bench_json;
+  FlagParser flags;
+  flags.AddInt("queries", &queries, "query sample size per sweep point");
+  flags.AddInt("max_leaf_visits", &max_leaf_visits,
+               "ANN leaf budget (0 = exact)");
+  flags.AddDouble("missing", &missing, "MCAR missing rate of the bench data");
+  flags.AddBool("quick", &quick, "small sweep for CI smoke runs");
+  flags.AddString("bench-json", &bench_json,
+                  "write the machine-readable sweep to this path");
+  bench::AddThreadsFlag(flags, &threads);
+  bench::ObsSession obs("index_build_query");
+  obs.AddFlags(flags);
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::printf("%s\n", st.ToString().c_str());
+    return st.code() == StatusCode::kOutOfRange ? 0 : 1;
+  }
+  bench::ApplyThreadsFlag(threads);
+  obs.Start();
+  obs.report().AddConfig("queries", static_cast<int64_t>(queries));
+  obs.report().AddConfig("missing", missing);
+  obs.report().AddConfig("max_leaf_visits",
+                         static_cast<int64_t>(max_leaf_visits));
+
+  const size_t d = 6;
+  const std::vector<size_t> sweep =
+      quick ? std::vector<size_t>{2000, 8000}
+            : std::vector<size_t>{8000, 30000, 120000};
+  std::vector<SweepPoint> points;
+  std::printf("%8s %10s %8s %10s %10s %10s %10s %9s %7s\n", "n", "build_s",
+              "ident", "brute_p50", "brute_p99", "ann_p50", "ann_p99",
+              "speedup", "recall");
+  for (const size_t n : sweep) {
+    const SweepPoint pt =
+        RunPoint(n, d, missing, static_cast<size_t>(queries),
+                 static_cast<size_t>(max_leaf_visits), /*seed=*/11 + n);
+    std::printf("%8zu %10.3f %8s %9.1fu %9.1fu %9.1fu %9.1fu %8.2fx %7.4f\n",
+                pt.n, pt.build_sec[0], pt.bit_identical ? "yes" : "NO",
+                pt.brute_p50_us, pt.brute_p99_us, pt.ann_p50_us, pt.ann_p99_us,
+                pt.speedup_total, pt.recall_at_10);
+    points.push_back(pt);
+  }
+
+  int rc = 0;
+  if (!bench_json.empty()) {
+    rc = WriteBenchJson(bench_json, points, quick, missing, d,
+                        static_cast<size_t>(max_leaf_visits));
+  }
+  return obs.Finish() || rc;
+}

@@ -12,6 +12,9 @@
 //
 // --save_params writes a self-contained v2 checkpoint (generator weights +
 // normalizer stats + column schema) that scis_serve can load directly.
+// --save_index additionally writes a mask-aware ANN index over the
+// normalized training rows; scis_serve --index loads it for
+// retrieval-augmented imputation.
 #include <cstdio>
 
 #include "common/flags.h"
@@ -20,6 +23,7 @@
 #include "data/csv.h"
 #include "data/normalizer.h"
 #include "eval/experiment.h"
+#include "index/ann_index.h"
 #include "nn/serialize.h"
 #include "models/gain_imputer.h"
 #include "runtime/runtime.h"
@@ -49,7 +53,7 @@ CheckpointMeta MakeMeta(const std::string& model, const Dataset& raw,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string input, output, method = "SCIS-GAIN", save_params;
+  std::string input, output, method = "SCIS-GAIN", save_params, save_index;
   long long epochs = 30;
   long long n0 = 500;
   double epsilon = 0.001;
@@ -68,6 +72,9 @@ int main(int argc, char** argv) {
                "worker threads (0 = SCIS_NUM_THREADS or hardware)");
   flags.AddString("save_params", &save_params,
                   "optional path to checkpoint the trained generator");
+  flags.AddString("save_index", &save_index,
+                  "optional path for an ANN index over the normalized "
+                  "training rows (scis_serve --index)");
   if (Status st = flags.Parse(argc, argv); !st.ok()) {
     std::printf("%s\n", st.ToString().c_str());
     return st.code() == StatusCode::kOutOfRange ? 0 : 1;
@@ -160,6 +167,15 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("imputation took %.2fs\n", watch.ElapsedSeconds());
+
+  if (!save_index.empty()) {
+    const index::AnnIndex idx =
+        index::AnnIndex::Build(train.values(), train.mask(), {});
+    Status st = idx.Save(save_index);
+    std::printf("index %s: %s (%zu rows, %zu nodes, depth %zu)\n",
+                save_index.c_str(), st.ToString().c_str(), idx.num_rows(),
+                idx.num_nodes(), idx.depth());
+  }
 
   // Back to original units; observed cells keep their exact input values.
   Matrix imputed = norm.InverseTransform(imputed_norm);

@@ -4,7 +4,8 @@
 //              [--port_file serve.port] [--threads 0] \
 //              [--max_batch_rows 64] [--max_wait_ms 2] \
 //              [--max_queue_rows 1024] [--request_timeout_ms 0] \
-//              [--report-out report.json]
+//              [--index train.annidx] [--retrieval_k 10] \
+//              [--retrieval_blend 0.5] [--report-out report.json]
 //
 // Loads a self-contained v2 checkpoint (write one with
 // scis_impute --save_params), then serves imputation requests over the
@@ -14,6 +15,10 @@
 //
 // --port 0 binds an ephemeral port; --port_file publishes the assigned port
 // for scripts (the CI loopback smoke test uses this).
+//
+// --index attaches an ANN index over the training rows (write one with
+// scis_impute --save_index): each missing cell then blends the generator
+// output with the observed mean of the retrieved nearest training rows.
 #include <csignal>
 #include <cstdio>
 
@@ -36,13 +41,15 @@ void HandleSignal(int) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string params, host = "127.0.0.1", port_file, report_out;
+  std::string params, host = "127.0.0.1", port_file, report_out, index_path;
   long long port = 0;
   long long threads = 0;
   long long max_batch_rows = 64;
   long long max_queue_rows = 1024;
+  long long retrieval_k = 10;
   double max_wait_ms = 2.0;
   double request_timeout_ms = 0.0;
+  double retrieval_blend = 0.5;
   FlagParser flags;
   flags.AddString("params", &params, "v2 checkpoint from --save_params");
   flags.AddString("host", &host, "bind address (dotted quad)");
@@ -59,6 +66,13 @@ int main(int argc, char** argv) {
                   "flush deadline from the oldest queued request");
   flags.AddDouble("request_timeout_ms", &request_timeout_ms,
                   "fail requests queued longer than this (0 = off)");
+  flags.AddString("index", &index_path,
+                  "ANN index from scis_impute --save_index "
+                  "(enables retrieval-augmented imputation)");
+  flags.AddInt("retrieval_k", &retrieval_k,
+               "neighbours retrieved per served row");
+  flags.AddDouble("retrieval_blend", &retrieval_blend,
+                  "neighbour weight in [0,1] for missing cells");
   flags.AddString("report-out", &report_out,
                   "write a JSON run report on shutdown");
   if (Status st = flags.Parse(argc, argv); !st.ok()) {
@@ -72,14 +86,20 @@ int main(int argc, char** argv) {
   if (threads > 0) runtime::SetNumThreads(static_cast<int>(threads));
 
   Result<std::shared_ptr<const serve::ImputationEngine>> engine =
-      serve::ImputationEngine::Load(params);
+      index_path.empty()
+          ? serve::ImputationEngine::Load(params)
+          : serve::ImputationEngine::Load(
+                params, index_path,
+                serve::RetrievalOptions{static_cast<size_t>(retrieval_k), 16,
+                                        retrieval_blend});
   if (!engine.ok()) {
     std::printf("load %s: %s\n", params.c_str(),
                 engine.status().ToString().c_str());
     return 1;
   }
-  std::printf("loaded %s: %s generator, %zu columns\n", params.c_str(),
-              (*engine)->model().c_str(), (*engine)->num_cols());
+  std::printf("loaded %s: %s generator, %zu columns%s\n", params.c_str(),
+              (*engine)->model().c_str(), (*engine)->num_cols(),
+              (*engine)->has_index() ? ", retrieval on" : "");
 
   serve::ServerOptions opts;
   opts.host = host;

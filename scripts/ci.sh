@@ -54,6 +54,18 @@ assert d['schema']=='scis-bench-kernels-v1' and d['kernels'], d" \
       "$SMOKE/bench.json"
     echo "kernel bench smoke: OK ($(python3 -c "import json,sys; \
 print(len(json.load(open(sys.argv[1]))['kernels']))" "$SMOKE/bench.json") kernels)"
+
+    # Index perf smoke: the ANN build/query sweep must complete, stay
+    # bit-identical across 1/2/4 threads, and emit a parseable json (quick
+    # mode; the committed full-mode baseline is bench/BENCH_index.json).
+    ./build/bench/index_build_query --quick --queries 200 \
+      --bench-json="$SMOKE/bench_index.json" >/dev/null
+    python3 -c "import json,sys; d=json.load(open(sys.argv[1])); \
+assert d['schema']=='scis-bench-index-v1' and d['sweep'], d; \
+assert all(p['bit_identical_1_2_4_threads'] for p in d['sweep']), d" \
+      "$SMOKE/bench_index.json"
+    echo "index bench smoke: OK ($(python3 -c "import json,sys; \
+print(len(json.load(open(sys.argv[1]))['sweep']))" "$SMOKE/bench_index.json") sweep points)"
     ;;
   nightly)
     # High iteration counts: the nightly executable scales its property

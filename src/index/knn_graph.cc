@@ -1,0 +1,34 @@
+#include "index/knn_graph.h"
+
+#include <algorithm>
+
+namespace scis::index {
+
+SparseMatrix BuildKnnGraphFromIndex(const AnnIndex& index, size_t k,
+                                    size_t max_leaf_visits) {
+  const size_t n = index.num_rows();
+  SCIS_CHECK_GT(n, 0u);
+  SearchOptions sopts;
+  sopts.k = std::min(k, n - 1);
+  sopts.max_leaf_visits = max_leaf_visits;
+  const std::vector<std::vector<Neighbor>> found = index.SelfNeighbors(sopts);
+  std::vector<std::vector<size_t>> neighbors(n);
+  for (size_t i = 0; i < n; ++i) {
+    neighbors[i].reserve(found[i].size());
+    for (const Neighbor& nb : found[i]) neighbors[i].push_back(nb.row);
+  }
+  return SymmetrizeAndNormalizeKnn(n, neighbors);
+}
+
+SparseMatrix BuildKnnGraphAuto(const Matrix& x, const Matrix& mask, size_t k,
+                               const GraphOptions& opts) {
+  SCIS_CHECK(x.SameShape(mask));
+  SCIS_CHECK_GT(x.rows(), 0u);
+  if (x.rows() <= opts.brute_force_threshold) {
+    return BuildKnnGraph(x, mask, k);
+  }
+  const AnnIndex index = AnnIndex::Build(x, mask, opts.index);
+  return BuildKnnGraphFromIndex(index, k, opts.max_leaf_visits);
+}
+
+}  // namespace scis::index

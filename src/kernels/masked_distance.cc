@@ -1,0 +1,35 @@
+#include "kernels/masked_distance.h"
+
+#include <limits>
+
+namespace scis::kernels {
+
+double MaskedRowDistance(const double* xa, const double* ma, const double* xb,
+                         const double* mb, size_t d) {
+  double acc = 0.0;
+  double overlap = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    const double w = ma[j] * mb[j];  // 1 iff co-observed
+    const double diff = xa[j] - xb[j];
+    acc += w * diff * diff;
+    overlap += w;
+  }
+  if (overlap == 0.0) return std::numeric_limits<double>::infinity();
+  return acc / overlap;
+}
+
+double MaskedRowToDenseDistance(const double* xa, const double* ma,
+                                const double* c, size_t d) {
+  double acc = 0.0;
+  double observed = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    const double w = ma[j];
+    const double diff = xa[j] - c[j];
+    acc += w * diff * diff;
+    observed += w;
+  }
+  if (observed == 0.0) return std::numeric_limits<double>::infinity();
+  return acc / observed;
+}
+
+}  // namespace scis::kernels

@@ -1,0 +1,31 @@
+// The mask-aware row metric shared by every neighbor-based path (kNN
+// imputation, GINN's similarity graph, the src/index ANN tree): squared
+// Euclidean distance over co-observed coordinates, rescaled by the
+// co-observed count. Two rows with no coordinate observed in common are at
+// +inf — callers decide how to handle that (skip, sentinel, fallback).
+//
+// The accumulation is a single sequential pass over the coordinates with a
+// branch-free {0,1}-mask product, which is bit-identical to the branched
+// `if (ma && mb)` loop it replaced (adding a +0.0 contribution is exact)
+// while letting the compiler if-convert and vectorize the body.
+#ifndef SCIS_KERNELS_MASKED_DISTANCE_H_
+#define SCIS_KERNELS_MASKED_DISTANCE_H_
+
+#include <cstddef>
+
+namespace scis::kernels {
+
+// Mean squared difference of a and b over coordinates observed in both
+// ({0,1} masks ma, mb); +inf when no coordinate is co-observed.
+double MaskedRowDistance(const double* xa, const double* ma, const double* xb,
+                         const double* mb, size_t d);
+
+// Same metric against a fully observed row `c` (a k-means centroid, a
+// complete reference row): averages over a's observed coordinates alone;
+// +inf when a has no observed coordinate.
+double MaskedRowToDenseDistance(const double* xa, const double* ma,
+                                const double* c, size_t d);
+
+}  // namespace scis::kernels
+
+#endif  // SCIS_KERNELS_MASKED_DISTANCE_H_

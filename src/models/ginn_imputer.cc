@@ -43,7 +43,7 @@ Var GinnImputer::ReconstructOnTape(Tape& tape, const Matrix& x,
   // it, so it must live past Backward(); stash it on the heap and let the
   // lambda own it via shared_ptr.
   auto graph = std::make_shared<SparseMatrix>(
-      BuildKnnGraph(x, m, opts_.graph_k));
+      index::BuildKnnGraphAuto(x, m, opts_.graph_k, opts_.graph));
   Var xin = tape.Constant(ConcatCols(x, m));
   Var w1 = gcn1_->Forward(tape, xin);
   // Re-implement GcnForward inline so the shared_ptr is captured.
@@ -67,9 +67,10 @@ Status GinnImputer::Fit(const Dataset& data) {
   if (data.num_rows() == 0) return Status::InvalidArgument("empty dataset");
   EnsureBuilt(data.num_cols());
   const size_t n = data.num_rows();
-  // Full similarity graph: the O(n²·d) step that dominates at scale.
-  const SparseMatrix graph =
-      BuildKnnGraph(data.values(), data.mask(), opts_.graph_k);
+  // Full similarity graph — index-backed above the brute-force threshold,
+  // so this step no longer dominates at scale.
+  const SparseMatrix graph = index::BuildKnnGraphAuto(
+      data.values(), data.mask(), opts_.graph_k, opts_.graph);
   const Matrix& x = data.values();
   const Matrix& m = data.mask();
   const Matrix ones = Matrix::Ones(n, data.num_cols());
@@ -112,8 +113,8 @@ Status GinnImputer::Fit(const Dataset& data) {
 Matrix GinnImputer::Reconstruct(const Dataset& data) const {
   SCIS_CHECK_MSG(built_, "Reconstruct before Fit");
   auto* self = const_cast<GinnImputer*>(this);
-  const SparseMatrix graph =
-      BuildKnnGraph(data.values(), data.mask(), opts_.graph_k);
+  const SparseMatrix graph = index::BuildKnnGraphAuto(
+      data.values(), data.mask(), opts_.graph_k, opts_.graph);
   Tape tape;
   return self->GcnForward(tape, graph, data.values(), data.mask()).value();
 }

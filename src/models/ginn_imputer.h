@@ -6,14 +6,17 @@
 // A 3-layer feed-forward critic (per §VI) predicts per-cell observedness
 // GAIN-style and is trained 5 times per generator step (per §VI).
 //
-// Fit() builds the full O(n²·d) similarity graph — the scalability
+// Fit() builds the full similarity graph — historically the O(n²·d)
 // bottleneck the paper cites for GINN's "-" entries on the million-size
-// datasets. ReconstructOnTape() builds a batch-local graph instead, which
-// is what lets SCIS-GINN (mini-batch DIM training) run where plain GINN
-// cannot.
+// datasets; it now routes through index::BuildKnnGraphAuto, which keeps
+// the exact brute-force path for small n and switches to the hierarchical
+// k-means index above a threshold. ReconstructOnTape() builds a batch-local
+// graph instead, which is what lets SCIS-GINN (mini-batch DIM training)
+// run where plain GINN cannot.
 #ifndef SCIS_MODELS_GINN_IMPUTER_H_
 #define SCIS_MODELS_GINN_IMPUTER_H_
 
+#include "index/knn_graph.h"
 #include "models/deep_common.h"
 #include "tensor/sparse.h"
 
@@ -22,6 +25,10 @@ namespace scis {
 struct GinnImputerOptions {
   DeepOptions deep;
   size_t graph_k = 10;       // kNN neighbours in the similarity graph
+  // Brute-force vs. ANN-index switch for graph construction: small inputs
+  // (every mini-batch) stay on the exact path, full-dataset fits above the
+  // threshold go through index::AnnIndex.
+  index::GraphOptions graph;
   size_t hidden = 32;        // GCN hidden width
   size_t critic_hidden = 32; // 3-layer FFN critic width
   int critic_steps = 5;      // critic updates per generator step (§VI)

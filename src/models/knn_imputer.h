@@ -3,19 +3,33 @@
 // incomplete rows is the squared Euclidean distance over their co-observed
 // coordinates, rescaled by the co-observed count; a missing cell is filled
 // by the observed-value average of its k nearest neighbours.
+//
+// Neighbour search routes through index::AnnIndex above a size threshold
+// (and exact brute force below it), so the full training set is the default
+// reference — the legacy subsampling cap is opt-in. Rows with no finite-
+// distance neighbour (no co-observed coordinate with any reference row)
+// fall back to the observed column means instead of averaging arbitrary
+// rows.
 #ifndef SCIS_MODELS_KNN_IMPUTER_H_
 #define SCIS_MODELS_KNN_IMPUTER_H_
 
+#include "index/ann_index.h"
 #include "models/imputer.h"
 
 namespace scis {
 
 struct KnnImputerOptions {
   size_t k = 10;
-  // Training rows are subsampled to this cap (brute-force O(n²) search);
-  // mirrors how the paper's slow baselines become infeasible at scale.
-  size_t max_reference_rows = 4000;
+  // 0 = keep every training row (the ANN index makes that affordable).
+  // > 0 subsamples to this cap, as the brute-force-only implementation
+  // used to require.
+  size_t max_reference_rows = 0;
   uint64_t seed = 7;
+  // Reference sets at or below this row count skip the index and use the
+  // exact brute-force search.
+  size_t brute_force_threshold = 2048;
+  index::IndexOptions index;    // tree shape for the large-n path
+  size_t max_leaf_visits = 16;  // per-query search budget (0 = exact)
 };
 
 class KnnImputer final : public Imputer {
@@ -30,6 +44,7 @@ class KnnImputer final : public Imputer {
   KnnImputerOptions opts_;
   Dataset reference_;
   std::vector<double> fallback_means_;
+  index::AnnIndex index_;  // empty when the brute-force path is in use
 };
 
 }  // namespace scis

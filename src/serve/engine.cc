@@ -14,7 +14,45 @@ Result<std::shared_ptr<const ImputationEngine>> ImputationEngine::Load(
   return FromCheckpoint(ckpt);
 }
 
+Result<std::shared_ptr<const ImputationEngine>> ImputationEngine::Load(
+    const std::string& path, const std::string& index_path,
+    const RetrievalOptions& retrieval) {
+  SCIS_ASSIGN_OR_RETURN(Checkpoint ckpt, LoadCheckpoint(path));
+  SCIS_ASSIGN_OR_RETURN(index::AnnIndex index,
+                        index::AnnIndex::Load(index_path));
+  return FromCheckpoint(ckpt, std::move(index), retrieval);
+}
+
 Result<std::shared_ptr<const ImputationEngine>> ImputationEngine::FromCheckpoint(
+    const Checkpoint& ckpt, index::AnnIndex index,
+    const RetrievalOptions& retrieval) {
+  SCIS_ASSIGN_OR_RETURN(std::shared_ptr<ImputationEngine> engine,
+                        BuildFromCheckpoint(ckpt));
+  if (index.empty()) {
+    return Status::InvalidArgument("retrieval index has no rows");
+  }
+  if (index.num_cols() != engine->num_cols()) {
+    return Status::InvalidArgument(
+        "retrieval index is " + std::to_string(index.num_cols()) +
+        "-column, checkpoint schema is " +
+        std::to_string(engine->num_cols()));
+  }
+  if (retrieval.k == 0 || retrieval.blend < 0.0 || retrieval.blend > 1.0) {
+    return Status::InvalidArgument("retrieval needs k >= 1, blend in [0,1]");
+  }
+  engine->index_ = std::move(index);
+  engine->retrieval_ = retrieval;
+  return std::shared_ptr<const ImputationEngine>(std::move(engine));
+}
+
+Result<std::shared_ptr<const ImputationEngine>> ImputationEngine::FromCheckpoint(
+    const Checkpoint& ckpt) {
+  SCIS_ASSIGN_OR_RETURN(std::shared_ptr<ImputationEngine> engine,
+                        BuildFromCheckpoint(ckpt));
+  return std::shared_ptr<const ImputationEngine>(std::move(engine));
+}
+
+Result<std::shared_ptr<ImputationEngine>> ImputationEngine::BuildFromCheckpoint(
     const Checkpoint& ckpt) {
   if (ckpt.version < 2) {
     return Status::InvalidArgument(
@@ -89,7 +127,7 @@ Result<std::shared_ptr<const ImputationEngine>> ImputationEngine::FromCheckpoint
                                    " does not match the " +
                                    std::to_string(d) + "-column schema");
   }
-  return std::shared_ptr<const ImputationEngine>(std::move(engine));
+  return engine;
 }
 
 Result<Matrix> ImputationEngine::ImputeBatch(const Matrix& rows) const {
@@ -129,6 +167,40 @@ Result<Matrix> ImputationEngine::ImputeBatch(const Matrix& rows) const {
   for (const Layer& layer : layers_) {
     h = AddRowBroadcast(MatMul(h, layer.w), layer.b);
     h = layer.sigmoid_out ? Sigmoid(h) : Relu(h);
+  }
+
+  // Retrieval augmentation: blend each missing cell with the observed-value
+  // mean of the k nearest training rows (normalized space, same mask-aware
+  // metric as the offline kNN imputer). Cells no neighbour observes — and
+  // rows with no co-observed coordinate, which retrieve nothing — keep the
+  // pure generator value.
+  if (!index_.empty()) {
+    static obs::Counter* retrieved =
+        obs::Registry::Global().GetCounter("serve.engine.retrieval_queries");
+    static obs::Counter* blended =
+        obs::Registry::Global().GetCounter("serve.engine.retrieval_cells");
+    index::SearchOptions sopts;
+    sopts.k = retrieval_.k;
+    sopts.max_leaf_visits = retrieval_.max_leaf_visits;
+    const double blend = retrieval_.blend;
+    std::vector<index::Neighbor> nbrs;
+    for (size_t i = 0; i < n; ++i) {
+      index_.Search(x.row_data(i), m.row_data(i), sopts).swap(nbrs);
+      retrieved->Add(1);
+      if (nbrs.empty()) continue;
+      for (size_t j = 0; j < d; ++j) {
+        if (m(i, j) == 1.0) continue;
+        double sum = 0.0, cnt = 0.0;
+        for (const index::Neighbor& nb : nbrs) {
+          sum += index_.mask()(nb.row, j) * index_.values()(nb.row, j);
+          cnt += index_.mask()(nb.row, j);
+        }
+        if (cnt > 0.0) {
+          h(i, j) = (1.0 - blend) * h(i, j) + blend * (sum / cnt);
+          blended->Add(1);
+        }
+      }
+    }
   }
 
   // Eq. 1 + inverse transform: observed cells keep their exact raw input;

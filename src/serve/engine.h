@@ -12,7 +12,9 @@
 // Sigmoid), Eq. 1, inverse transform — and every output row depends only on
 // its own input row. Serving a row alone, inside any micro-batch, or via
 // the offline Imputer on the training machine produces bit-identical
-// values; the testkit oracles rely on this.
+// values; the testkit oracles rely on this. Retrieval augmentation keeps
+// the contract: the attached index is immutable, so a row's output still
+// depends only on its own input.
 #ifndef SCIS_SERVE_ENGINE_H_
 #define SCIS_SERVE_ENGINE_H_
 
@@ -22,10 +24,23 @@
 
 #include "common/status.h"
 #include "data/dataset.h"
+#include "index/ann_index.h"
 #include "nn/serialize.h"
 #include "tensor/matrix.h"
 
 namespace scis::serve {
+
+// Retrieval-augmented serving: when an AnnIndex over the (normalized)
+// training rows is attached, each missing cell blends the generator output
+// with the observed-value mean of the k retrieved nearest training rows:
+//   x̂ = (1 - blend) · generator + blend · neighbour_mean
+// (generator-only where no retrieved neighbour observes the cell). blend=0
+// reproduces the pure generator bit-exactly; blend=1 is pure kNN serving.
+struct RetrievalOptions {
+  size_t k = 10;
+  size_t max_leaf_visits = 16;  // per-query leaf budget (0 = exact)
+  double blend = 0.5;
+};
 
 class ImputationEngine {
  public:
@@ -34,15 +49,28 @@ class ImputationEngine {
   static Result<std::shared_ptr<const ImputationEngine>> Load(
       const std::string& path);
 
+  // Loads a checkpoint plus a saved AnnIndex (scis_impute --save_index)
+  // for retrieval-augmented imputation.
+  static Result<std::shared_ptr<const ImputationEngine>> Load(
+      const std::string& path, const std::string& index_path,
+      const RetrievalOptions& retrieval);
+
   // Builds an engine from an in-memory checkpoint (tests, benches).
   static Result<std::shared_ptr<const ImputationEngine>> FromCheckpoint(
       const Checkpoint& ckpt);
+
+  // In-memory checkpoint + index over normalized training rows.
+  static Result<std::shared_ptr<const ImputationEngine>> FromCheckpoint(
+      const Checkpoint& ckpt, index::AnnIndex index,
+      const RetrievalOptions& retrieval);
 
   size_t num_cols() const { return columns_.size(); }
   const std::vector<ColumnMeta>& columns() const { return columns_; }
   const std::string& model() const { return model_; }
   const std::vector<double>& norm_lo() const { return lo_; }
   const std::vector<double>& norm_hi() const { return hi_; }
+  bool has_index() const { return !index_.empty(); }
+  const RetrievalOptions& retrieval() const { return retrieval_; }
 
   // Imputes `rows` (raw units, quiet NaN = missing). Returns the completed
   // rows in raw units: observed cells pass through bit-exactly, missing
@@ -57,10 +85,17 @@ class ImputationEngine {
 
   ImputationEngine() = default;
 
+  // Shared construction path; the public factories add constness (and,
+  // optionally, the retrieval index) on top.
+  static Result<std::shared_ptr<ImputationEngine>> BuildFromCheckpoint(
+      const Checkpoint& ckpt);
+
   std::string model_;
   std::vector<ColumnMeta> columns_;
   std::vector<double> lo_, hi_;
   std::vector<Layer> layers_;
+  index::AnnIndex index_;  // empty unless retrieval is attached
+  RetrievalOptions retrieval_;
 };
 
 }  // namespace scis::serve

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <map>
 
+#include "kernels/masked_distance.h"
+
 namespace scis {
 
 SparseMatrix::SparseMatrix(size_t rows, size_t cols, std::vector<Edge> edges)
@@ -71,8 +73,7 @@ SparseMatrix BuildKnnGraph(const Matrix& x, const Matrix& mask, size_t k) {
   SCIS_CHECK_GT(n, 0u);
   k = std::min(k, n - 1);
 
-  std::vector<Edge> edges;
-  edges.reserve(n * (k + 1) * 2);
+  std::vector<std::vector<size_t>> neighbors(n);
   std::vector<std::pair<double, size_t>> dist(n);
   for (size_t i = 0; i < n; ++i) {
     const double* xi = x.row_data(i);
@@ -82,22 +83,28 @@ SparseMatrix BuildKnnGraph(const Matrix& x, const Matrix& mask, size_t k) {
         dist[j] = {1e30, j};
         continue;
       }
-      const double* xj = x.row_data(j);
-      const double* mj = mask.row_data(j);
-      double acc = 0.0;
-      size_t overlap = 0;
-      for (size_t c = 0; c < d; ++c) {
-        if (mi[c] == 1.0 && mj[c] == 1.0) {
-          const double diff = xi[c] - xj[c];
-          acc += diff * diff;
-          ++overlap;
-        }
-      }
-      dist[j] = {overlap ? acc / static_cast<double>(overlap) : 1e29, j};
+      const double md = kernels::MaskedRowDistance(xi, mi, x.row_data(j),
+                                                   mask.row_data(j), d);
+      // Zero-overlap pairs sort behind every finite distance but ahead of
+      // self, preserving the historical 1e29/1e30 sentinel ordering.
+      dist[j] = {std::isinf(md) ? 1e29 : md, j};
     }
     std::partial_sort(dist.begin(), dist.begin() + k, dist.end());
-    for (size_t t = 0; t < k; ++t) {
-      const size_t j = dist[t].second;
+    neighbors[i].reserve(k);
+    for (size_t t = 0; t < k; ++t) neighbors[i].push_back(dist[t].second);
+  }
+  return SymmetrizeAndNormalizeKnn(n, neighbors);
+}
+
+SparseMatrix SymmetrizeAndNormalizeKnn(
+    size_t n, const std::vector<std::vector<size_t>>& neighbors) {
+  SCIS_CHECK_EQ(neighbors.size(), n);
+  std::vector<Edge> edges;
+  size_t total = n;
+  for (const auto& nbrs : neighbors) total += 2 * nbrs.size();
+  edges.reserve(total);
+  for (size_t i = 0; i < n; ++i) {
+    for (const size_t j : neighbors[i]) {
       // Symmetrize: both directions, weight 1.
       edges.push_back({i, j, 1.0});
       edges.push_back({j, i, 1.0});

@@ -45,9 +45,17 @@ class SparseMatrix {
 
 // Symmetrized kNN graph over the rows of `x` using the mask-aware distance
 // (mean squared difference over co-observed coordinates), with self loops
-// and symmetric normalization D^{-1/2}(A + I)D^{-1/2}. O(n²·d): this is
-// GINN's scalability bottleneck the paper calls out.
+// and symmetric normalization D^{-1/2}(A + I)D^{-1/2}. O(n²·d) brute-force
+// neighbor search: this is GINN's scalability bottleneck the paper calls
+// out. index::BuildKnnGraphAuto wraps it with an ANN-backed large-n path.
 SparseMatrix BuildKnnGraph(const Matrix& x, const Matrix& mask, size_t k);
+
+// Assembles the GCN adjacency from per-row neighbor lists: both edge
+// directions at weight 1, self loops, then D^{-1/2}(A + I)D^{-1/2}. Shared
+// by the brute-force builder above and the index-backed builder; any
+// neighbor-search backend producing the same lists yields the same graph.
+SparseMatrix SymmetrizeAndNormalizeKnn(
+    size_t n, const std::vector<std::vector<size_t>>& neighbors);
 
 }  // namespace scis
 

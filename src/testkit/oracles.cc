@@ -41,6 +41,35 @@ Matrix NaiveMaskedCost(const Matrix& a, const Matrix& ma, const Matrix& b,
   return cost;
 }
 
+std::vector<std::pair<size_t, double>> NaiveMaskedKnn(
+    const Matrix& x, const Matrix& mask, const double* query,
+    const double* query_mask, size_t k, size_t exclude) {
+  SCIS_CHECK(x.SameShape(mask));
+  std::vector<std::pair<size_t, double>> hits;
+  for (size_t r = 0; r < x.rows(); ++r) {
+    if (r == exclude) continue;
+    double acc = 0.0;
+    size_t overlap = 0;
+    for (size_t j = 0; j < x.cols(); ++j) {
+      if (query_mask[j] == 1.0 && mask(r, j) == 1.0) {
+        const double diff = query[j] - x(r, j);
+        acc += diff * diff;
+        ++overlap;
+      }
+    }
+    if (overlap == 0) continue;
+    hits.push_back({r, acc / static_cast<double>(overlap)});
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const std::pair<size_t, double>& a,
+               const std::pair<size_t, double>& b) {
+              return a.second != b.second ? a.second < b.second
+                                          : a.first < b.first;
+            });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
 namespace {
 
 double LogSumExp(const std::vector<double>& v) {

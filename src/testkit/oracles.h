@@ -7,6 +7,7 @@
 #ifndef SCIS_TESTKIT_ORACLES_H_
 #define SCIS_TESTKIT_ORACLES_H_
 
+#include <utility>
 #include <vector>
 
 #include "core/dim.h"
@@ -23,6 +24,17 @@ Matrix NaiveMatMul(const Matrix& a, const Matrix& b);
 // C[i][j] = || ma_i ⊙ a_i − mb_j ⊙ b_j ||².
 Matrix NaiveMaskedCost(const Matrix& a, const Matrix& ma, const Matrix& b,
                        const Matrix& mb);
+
+// Mask-aware k-nearest-neighbour oracle over the rows of (x, mask):
+// distance = mean squared difference over co-observed coordinates, rows
+// with no co-observed coordinate excluded, results ascending by
+// (distance, row). Direct nested loops with a full sort — independent of
+// both kernels/masked_distance and index/ann_index, which the production
+// searches share.
+std::vector<std::pair<size_t, double>> NaiveMaskedKnn(
+    const Matrix& x, const Matrix& mask, const double* query,
+    const double* query_mask, size_t k,
+    size_t exclude = static_cast<size_t>(-1));
 
 struct OtOracle {
   Matrix plan;                  // optimal P*

@@ -112,6 +112,55 @@ TEST(KnnImputerTest, SubsamplesLargeReference) {
   EXPECT_EQ(rec.rows(), 300u);
 }
 
+// Regression: a query row with no co-observed coordinate against any
+// reference row has no finite-distance neighbours; it must fall back to
+// the observed column means, not average an arbitrary neighbour set.
+TEST(KnnImputerTest, NoOverlapQueryFallsBackToColumnMeans) {
+  // Reference rows observe only columns {0, 1}; the query observes only
+  // columns {2, 3}.
+  const size_t n = 12, d = 4;
+  Matrix values(n, d), mask(n, d);
+  Rng rng(3);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < 2; ++j) {
+      values(i, j) = rng.Uniform();
+      mask(i, j) = 1.0;
+    }
+  }
+  Dataset train("ref", values, mask, {});
+  KnnImputer knn;
+  ASSERT_TRUE(knn.Fit(train).ok());
+
+  Matrix qv(1, d), qm(1, d);
+  qv(0, 2) = 0.7;
+  qv(0, 3) = 0.4;
+  qm(0, 2) = 1.0;
+  qm(0, 3) = 1.0;
+  Dataset query("query", qv, qm, {});
+  const Matrix rec = knn.Reconstruct(query);
+  const std::vector<double> means = ObservedColumnMeans(train);
+  for (size_t j = 0; j < d; ++j) {
+    EXPECT_DOUBLE_EQ(rec(0, j), means[j]) << "column " << j;
+  }
+}
+
+// The index-backed and brute-force reference paths agree exactly when the
+// search budget is unbounded.
+TEST(KnnImputerTest, IndexPathMatchesBruteForcePath) {
+  Bench b = MakeBench(300);
+  KnnImputerOptions brute;
+  brute.brute_force_threshold = 10000;  // always brute force
+  KnnImputerOptions indexed;
+  indexed.brute_force_threshold = 0;  // always the index
+  indexed.max_leaf_visits = 0;        // unbounded: exact
+  KnnImputer a(brute), c(indexed);
+  ASSERT_TRUE(a.Fit(b.train).ok());
+  ASSERT_TRUE(c.Fit(b.train).ok());
+  const Matrix ra = a.Reconstruct(b.train);
+  const Matrix rc = c.Reconstruct(b.train);
+  EXPECT_EQ(ra, rc);
+}
+
 TEST(MiceImputerTest, RecoversLinearStructure) {
   Bench b = MakeBench();
   MeanImputer mean;
