@@ -1,20 +1,33 @@
-// serve_latency — micro-batching latency/throughput bench for src/serve.
+// serve_latency — latency/throughput bench for src/serve, batching layer
+// and full TCP serving path.
 //
-//   serve_latency [--rows 2000] [--cols 9] [--clients 8] [--threads 0]
-//                 [--max_wait_ms 2] [--trace-out t.json] [--report-out r.json]
+//   serve_latency [--rows 2000] [--cols 9] [--max_wait_ms 2] [--threads 0]
+//                 [--quick] [--bench-json bench/BENCH_serve.json]
+//                 [--trace-out t.json] [--report-out r.json]
 //
-// Drives a BatchQueue (no sockets — this isolates the batching layer) with
-// concurrent single-row clients at max_batch_rows 1, 8, and 64, and reports
-// p50/p99 request latency and rows/s for each setting: the
-// latency-vs-throughput trade-off the max_batch_rows knob controls.
+// Part 1 drives a BatchQueue directly (no sockets) with concurrent
+// single-row clients at max_batch_rows 1, 8, and 64: the
+// latency-vs-throughput trade-off the micro-batching knob controls.
+//
+// Part 2 measures the whole event-driven path — TCP loopback clients
+// against the epoll server — sweeping connections {1, 8, 64} x shards
+// {1, 2, 4} and reporting p50/p99 request latency and rows/s per cell.
+// Every response is bit-checked against the offline engine, so the sweep
+// doubles as a serving-correctness run. --bench-json writes the
+// machine-readable sweep; the committed baseline is bench/BENCH_serve.json
+// (full mode, see EXPERIMENTS.md).
 #include <algorithm>
+#include <atomic>
+#include <bit>
 #include <cstdio>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "serve/batch_queue.h"
+#include "serve/client.h"
 #include "serve/engine.h"
+#include "serve/server.h"
 #include "tensor/rng.h"
 
 using namespace scis;
@@ -46,16 +59,122 @@ double Percentile(std::vector<double> ms, double p) {
   return ms[at];
 }
 
+bool BitIdentical(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::bit_cast<uint64_t>(a.data()[i]) !=
+        std::bit_cast<uint64_t>(b.data()[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct SweepPoint {
+  size_t shards = 0;
+  size_t connections = 0;
+  size_t requests = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double rows_per_s = 0.0;
+  bool bit_identical = true;
+};
+
+// One sweep cell: `connections` client threads (one TCP connection each)
+// pull single-row requests from a shared counter against a `shards`-shard
+// server, timing each round trip and bit-checking each response.
+SweepPoint RunServePoint(
+    const std::shared_ptr<const serve::ImputationEngine>& engine,
+    const std::vector<Matrix>& requests, const std::vector<Matrix>& expected,
+    size_t shards, size_t connections, double max_wait_ms) {
+  SweepPoint pt;
+  pt.shards = shards;
+  pt.connections = connections;
+  pt.requests = requests.size();
+
+  serve::ServerOptions opts;
+  opts.shards = shards;
+  opts.queue.max_wait_ms = max_wait_ms;
+  opts.queue.max_queue_rows = 1u << 16;
+  serve::ImputationServer server(engine, opts);
+  SCIS_CHECK_MSG(server.Start().ok(), "server start failed");
+
+  std::vector<double> latency_ms(requests.size(), 0.0);
+  std::atomic<size_t> next{0};
+  std::atomic<bool> identical{true};
+  Stopwatch watch;
+  std::vector<std::thread> pool;
+  for (size_t c = 0; c < connections; ++c) {
+    pool.emplace_back([&] {
+      Result<std::unique_ptr<serve::ImputationClient>> client =
+          serve::ImputationClient::Connect("127.0.0.1", server.port());
+      SCIS_CHECK_MSG(client.ok(), "client connect failed");
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= requests.size()) return;
+        Stopwatch req_watch;
+        Result<Matrix> out = (*client)->Impute(requests[i]);
+        SCIS_CHECK_MSG(out.ok(), "request failed");
+        latency_ms[i] = req_watch.ElapsedSeconds() * 1e3;
+        if (!BitIdentical(out.value(), expected[i])) identical.store(false);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  const double seconds = watch.ElapsedSeconds();
+  server.Shutdown();
+
+  pt.p50_ms = Percentile(latency_ms, 0.50);
+  pt.p99_ms = Percentile(latency_ms, 0.99);
+  pt.rows_per_s = static_cast<double>(requests.size()) / seconds;
+  pt.bit_identical = identical.load();
+  return pt;
+}
+
+int WriteBenchJson(const std::string& path, const std::vector<SweepPoint>& pts,
+                   bool quick, size_t d, double max_wait_ms) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::printf("bench-json: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"schema\": \"scis-bench-serve-v1\",\n");
+  std::fprintf(out, "  \"mode\": \"%s\",\n", quick ? "quick" : "full");
+  std::fprintf(out, "  \"cols\": %zu,\n", d);
+  std::fprintf(out, "  \"max_wait_ms\": %.3f,\n", max_wait_ms);
+  std::fprintf(out, "  \"sweep\": [\n");
+  for (size_t i = 0; i < pts.size(); ++i) {
+    const SweepPoint& p = pts[i];
+    std::fprintf(out,
+                 "    {\"shards\": %zu, \"connections\": %zu, "
+                 "\"requests\": %zu, \"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+                 "\"rows_per_s\": %.0f, \"bit_identical\": %s}%s\n",
+                 p.shards, p.connections, p.requests, p.p50_ms, p.p99_ms,
+                 p.rows_per_s, p.bit_identical ? "true" : "false",
+                 i + 1 < pts.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("bench json written to %s (%zu points, mode=%s)\n", path.c_str(),
+              pts.size(), quick ? "quick" : "full");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   long long rows = 2000, cols = 9, clients = 8, threads = 0;
   double max_wait_ms = 2.0;
+  bool quick = false;
+  std::string bench_json;
   FlagParser flags;
-  flags.AddInt("rows", &rows, "single-row requests per batch-size setting");
+  flags.AddInt("rows", &rows, "single-row requests per sweep point");
   flags.AddInt("cols", &cols, "model width (columns)");
-  flags.AddInt("clients", &clients, "concurrent client threads");
+  flags.AddInt("clients", &clients, "client threads for the batching sweep");
   flags.AddDouble("max_wait_ms", &max_wait_ms, "micro-batch flush deadline");
+  flags.AddBool("quick", &quick, "small sweep for CI smoke runs");
+  flags.AddString("bench-json", &bench_json,
+                  "write the machine-readable serving sweep to this path");
   bench::AddThreadsFlag(flags, &threads);
   bench::ObsSession obs("serve_latency");
   obs.AddFlags(flags);
@@ -65,6 +184,7 @@ int main(int argc, char** argv) {
   }
   bench::ApplyThreadsFlag(threads);
   obs.Start();
+  if (quick && rows == 2000) rows = 400;
   obs.report().AddConfig("rows", static_cast<int64_t>(rows));
   obs.report().AddConfig("cols", static_cast<int64_t>(cols));
   obs.report().AddConfig("clients", static_cast<int64_t>(clients));
@@ -76,9 +196,11 @@ int main(int argc, char** argv) {
       serve::ImputationEngine::FromCheckpoint(MakeCheckpoint(d, 17));
   SCIS_CHECK_MSG(engine.ok(), "engine build failed");
 
-  // One pre-generated request per row so the clients measure serving only.
+  // One pre-generated request per row so the clients measure serving only;
+  // expected bits come from the offline engine, the serving ground truth.
   Rng rng(23);
   std::vector<Matrix> requests;
+  std::vector<Matrix> expected;
   for (long long i = 0; i < rows; ++i) {
     Matrix r(1, d);
     for (size_t j = 0; j < d; ++j) {
@@ -86,9 +208,11 @@ int main(int argc, char** argv) {
                     ? std::numeric_limits<double>::quiet_NaN()
                     : rng.Uniform();
     }
+    expected.push_back((*engine)->ImputeBatch(r).value());
     requests.push_back(std::move(r));
   }
 
+  // Part 1: batching layer only (no sockets).
   std::printf("serve_latency: %lld single-row requests, %lld clients, "
               "d=%zu, max_wait=%.2gms\n\n",
               rows, clients, d, max_wait_ms);
@@ -131,5 +255,41 @@ int main(int argc, char** argv) {
     obs.report().AddSectionValue(section, "rows_per_s", rate);
     obs.report().AddPhase(section, seconds);
   }
-  return obs.Finish();
+
+  // Part 2: the full TCP path — connections x shards sweep.
+  const std::vector<size_t> conn_sweep =
+      quick ? std::vector<size_t>{1, 8} : std::vector<size_t>{1, 8, 64};
+  const std::vector<size_t> shard_sweep =
+      quick ? std::vector<size_t>{1, 2} : std::vector<size_t>{1, 2, 4};
+  std::vector<SweepPoint> points;
+  std::printf("\n%-8s %-12s %12s %12s %12s %8s\n", "shards", "connections",
+              "p50 ms", "p99 ms", "rows/s", "ident");
+  for (const size_t shards : shard_sweep) {
+    for (const size_t connections : conn_sweep) {
+      const SweepPoint pt = RunServePoint(*engine, requests, expected, shards,
+                                          connections, max_wait_ms);
+      std::printf("%-8zu %-12zu %12.3f %12.3f %12.0f %8s\n", pt.shards,
+                  pt.connections, pt.p50_ms, pt.p99_ms, pt.rows_per_s,
+                  pt.bit_identical ? "yes" : "NO");
+      const std::string section =
+          "tcp_s" + std::to_string(shards) + "_c" + std::to_string(connections);
+      obs.report().AddSectionValue(section, "p50_ms", pt.p50_ms);
+      obs.report().AddSectionValue(section, "p99_ms", pt.p99_ms);
+      obs.report().AddSectionValue(section, "rows_per_s", pt.rows_per_s);
+      obs.report().AddSectionValue(section, "bit_identical",
+                                   pt.bit_identical ? 1.0 : 0.0);
+      points.push_back(pt);
+      if (!pt.bit_identical) {
+        std::printf("BIT-IDENTITY VIOLATION at shards=%zu connections=%zu\n",
+                    shards, connections);
+      }
+    }
+  }
+
+  int rc = 0;
+  for (const SweepPoint& pt : points) rc |= pt.bit_identical ? 0 : 1;
+  if (!bench_json.empty()) {
+    rc |= WriteBenchJson(bench_json, points, quick, d, max_wait_ms);
+  }
+  return obs.Finish() || rc;
 }

@@ -54,6 +54,7 @@ CheckpointMeta MakeMeta(const std::string& model, const Dataset& raw,
 
 int main(int argc, char** argv) {
   std::string input, output, method = "SCIS-GAIN", save_params, save_index;
+  std::string save_params_bin;
   long long epochs = 30;
   long long n0 = 500;
   double epsilon = 0.001;
@@ -72,6 +73,9 @@ int main(int argc, char** argv) {
                "worker threads (0 = SCIS_NUM_THREADS or hardware)");
   flags.AddString("save_params", &save_params,
                   "optional path to checkpoint the trained generator");
+  flags.AddString("save_params_bin", &save_params_bin,
+                  "optional path for a binary v3 checkpoint (mmap-able; "
+                  "scis_serve loads it zero-copy)");
   flags.AddString("save_index", &save_index,
                   "optional path for an ANN index over the normalized "
                   "training rows (scis_serve --index)");
@@ -137,6 +141,13 @@ int main(int argc, char** argv) {
       std::printf("checkpoint %s: %s\n", save_params.c_str(),
                   st.ToString().c_str());
     }
+    if (!save_params_bin.empty()) {
+      Status st = SaveCheckpointBinary(gen->generator_params(),
+                                       MakeMeta(base, raw, norm),
+                                       save_params_bin);
+      std::printf("binary checkpoint %s: %s\n", save_params_bin.c_str(),
+                  st.ToString().c_str());
+    }
   } else {
     Result<std::unique_ptr<Imputer>> imp =
         MakeImputer(method, static_cast<int>(epochs),
@@ -150,19 +161,28 @@ int main(int argc, char** argv) {
       return 1;
     }
     imputed_norm = (*imp)->Impute(train);
-    if (!save_params.empty()) {
+    if (!save_params.empty() || !save_params_bin.empty()) {
       // Only generator-backed baselines (GAIN, GINN) carry parameters a
       // checkpoint can capture.
       auto* gen = dynamic_cast<GenerativeImputer*>(imp->get());
       if (gen == nullptr) {
-        std::printf("checkpoint %s: skipped (%s has no generator)\n",
-                    save_params.c_str(), method.c_str());
+        std::printf("checkpoint: skipped (%s has no generator)\n",
+                    method.c_str());
       } else {
-        Status st = SaveCheckpoint(gen->generator_params(),
-                                   MakeMeta(gen->name(), raw, norm),
-                                   save_params);
-        std::printf("checkpoint %s: %s\n", save_params.c_str(),
-                    st.ToString().c_str());
+        if (!save_params.empty()) {
+          Status st = SaveCheckpoint(gen->generator_params(),
+                                     MakeMeta(gen->name(), raw, norm),
+                                     save_params);
+          std::printf("checkpoint %s: %s\n", save_params.c_str(),
+                      st.ToString().c_str());
+        }
+        if (!save_params_bin.empty()) {
+          Status st = SaveCheckpointBinary(gen->generator_params(),
+                                           MakeMeta(gen->name(), raw, norm),
+                                           save_params_bin);
+          std::printf("binary checkpoint %s: %s\n", save_params_bin.c_str(),
+                      st.ToString().c_str());
+        }
       }
     }
   }

@@ -1,26 +1,35 @@
-// scis_serve — online imputation server.
+// scis_serve — online imputation server (event-driven, sharded).
 //
-//   scis_serve --params model.ckpt [--host 127.0.0.1] [--port 0] \
-//              [--port_file serve.port] [--threads 0] \
-//              [--max_batch_rows 64] [--max_wait_ms 2] \
+//   scis_serve --params a.ckpt[,b.ckpt,...] [--shards 1] \
+//              [--host 127.0.0.1] [--port 0] [--port_file serve.port] \
+//              [--threads 0] [--max_batch_rows 64] [--max_wait_ms 2] \
 //              [--max_queue_rows 1024] [--request_timeout_ms 0] \
 //              [--index train.annidx] [--retrieval_k 10] \
 //              [--retrieval_blend 0.5] [--report-out report.json]
 //
-// Loads a self-contained v2 checkpoint (write one with
-// scis_impute --save_params), then serves imputation requests over the
-// length-prefixed binary wire protocol until SIGINT/SIGTERM or a client
-// sends --shutdown. Concurrent requests are coalesced into micro-batches;
-// results are bit-identical to the offline Imputer on the same rows.
+// Loads one or more self-contained checkpoints (text v2 from
+// scis_impute --save_params, or mmap-able binary v3 from --save_params_bin)
+// and serves them behind one epoll event loop: requests route to the model
+// matching their column count, then to one of --shards micro-batching
+// queues by payload hash. Results are bit-identical to the offline Imputer
+// on the same rows, for any shard count.
+//
+// SIGHUP re-loads every --params checkpoint from disk and hot-swaps it in
+// under traffic (same schema widths required). SIGINT/SIGTERM or a client
+// --shutdown stop the server gracefully.
 //
 // --port 0 binds an ephemeral port; --port_file publishes the assigned port
 // for scripts (the CI loopback smoke test uses this).
 //
 // --index attaches an ANN index over the training rows (write one with
-// scis_impute --save_index): each missing cell then blends the generator
-// output with the observed mean of the retrieved nearest training rows.
+// scis_impute --save_index) to the single served model: each missing cell
+// then blends the generator output with the observed mean of the retrieved
+// nearest training rows. Incompatible with multi-model serving.
+#include <atomic>
 #include <csignal>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "common/flags.h"
 #include "common/stopwatch.h"
@@ -33,9 +42,25 @@ using namespace scis;
 namespace {
 
 serve::ImputationServer* g_server = nullptr;
+std::atomic<bool> g_reload{false};
 
 void HandleSignal(int) {
   if (g_server != nullptr) g_server->Shutdown();
+}
+
+void HandleReload(int) { g_reload.store(true); }
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  size_t at = 0;
+  while (at <= s.size()) {
+    const size_t comma = s.find(',', at);
+    const size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > at) out.push_back(s.substr(at, end - at));
+    if (comma == std::string::npos) break;
+    at = comma + 1;
+  }
+  return out;
 }
 
 }  // namespace
@@ -44,6 +69,7 @@ int main(int argc, char** argv) {
   std::string params, host = "127.0.0.1", port_file, report_out, index_path;
   long long port = 0;
   long long threads = 0;
+  long long shards = 1;
   long long max_batch_rows = 64;
   long long max_queue_rows = 1024;
   long long retrieval_k = 10;
@@ -51,13 +77,17 @@ int main(int argc, char** argv) {
   double request_timeout_ms = 0.0;
   double retrieval_blend = 0.5;
   FlagParser flags;
-  flags.AddString("params", &params, "v2 checkpoint from --save_params");
+  flags.AddString("params", &params,
+                  "comma-separated checkpoints (v2 text or v3 binary); "
+                  "schema widths must be unique");
   flags.AddString("host", &host, "bind address (dotted quad)");
   flags.AddInt("port", &port, "TCP port (0 = ephemeral)");
   flags.AddString("port_file", &port_file,
                   "write the bound port here once listening");
   flags.AddInt("threads", &threads,
                "worker threads (0 = SCIS_NUM_THREADS or hardware)");
+  flags.AddInt("shards", &shards,
+               "independent micro-batching queues per model");
   flags.AddInt("max_batch_rows", &max_batch_rows,
                "flush a micro-batch at this many rows");
   flags.AddInt("max_queue_rows", &max_queue_rows,
@@ -79,41 +109,57 @@ int main(int argc, char** argv) {
     std::printf("%s\n", st.ToString().c_str());
     return st.code() == StatusCode::kOutOfRange ? 0 : 1;
   }
-  if (params.empty()) {
+  const std::vector<std::string> param_paths = SplitCommas(params);
+  if (param_paths.empty()) {
     std::printf("--params is required (see --help)\n");
+    return 1;
+  }
+  if (shards < 1) {
+    std::printf("--shards must be >= 1\n");
+    return 1;
+  }
+  if (!index_path.empty() && param_paths.size() > 1) {
+    std::printf("--index requires a single --params checkpoint\n");
     return 1;
   }
   if (threads > 0) runtime::SetNumThreads(static_cast<int>(threads));
 
-  Result<std::shared_ptr<const serve::ImputationEngine>> engine =
-      index_path.empty()
-          ? serve::ImputationEngine::Load(params)
-          : serve::ImputationEngine::Load(
-                params, index_path,
-                serve::RetrievalOptions{static_cast<size_t>(retrieval_k), 16,
-                                        retrieval_blend});
-  if (!engine.ok()) {
-    std::printf("load %s: %s\n", params.c_str(),
-                engine.status().ToString().c_str());
-    return 1;
+  std::vector<std::shared_ptr<const serve::ImputationEngine>> engines;
+  for (const std::string& path : param_paths) {
+    Result<std::shared_ptr<const serve::ImputationEngine>> engine =
+        index_path.empty()
+            ? serve::ImputationEngine::Load(path)
+            : serve::ImputationEngine::Load(
+                  path, index_path,
+                  serve::RetrievalOptions{static_cast<size_t>(retrieval_k),
+                                          16, retrieval_blend});
+    if (!engine.ok()) {
+      std::printf("load %s: %s\n", path.c_str(),
+                  engine.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded %s: %s generator, %zu columns%s\n", path.c_str(),
+                (*engine)->model().c_str(), (*engine)->num_cols(),
+                (*engine)->has_index() ? ", retrieval on" : "");
+    engines.push_back(std::move(*engine));
   }
-  std::printf("loaded %s: %s generator, %zu columns%s\n", params.c_str(),
-              (*engine)->model().c_str(), (*engine)->num_cols(),
-              (*engine)->has_index() ? ", retrieval on" : "");
 
   serve::ServerOptions opts;
   opts.host = host;
   opts.port = static_cast<int>(port);
+  opts.shards = static_cast<size_t>(shards);
   opts.queue.max_batch_rows = static_cast<size_t>(max_batch_rows);
   opts.queue.max_queue_rows = static_cast<size_t>(max_queue_rows);
   opts.queue.max_wait_ms = max_wait_ms;
   opts.queue.request_timeout_ms = request_timeout_ms;
-  serve::ImputationServer server(*engine, opts);
+  serve::ImputationServer server(std::move(engines), opts);
   if (Status st = server.Start(); !st.ok()) {
     std::printf("start: %s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("serving on %s:%d\n", host.c_str(), server.port());
+  std::printf("serving %zu model%s x %lld shard%s on %s:%d\n",
+              param_paths.size(), param_paths.size() == 1 ? "" : "s", shards,
+              shards == 1 ? "" : "s", host.c_str(), server.port());
   if (!port_file.empty()) {
     FILE* f = std::fopen(port_file.c_str(), "w");
     if (f == nullptr) {
@@ -127,14 +173,29 @@ int main(int argc, char** argv) {
   g_server = &server;
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGHUP, HandleReload);
 
   Stopwatch watch;
-  server.Wait();
+  // Poll between waits so a SIGHUP can hot-swap re-loaded checkpoints
+  // without stopping the event loop.
+  while (!server.WaitFor(200.0)) {
+    if (!g_reload.exchange(false)) continue;
+    for (const std::string& path : param_paths) {
+      Result<std::shared_ptr<const serve::ImputationEngine>> engine =
+          serve::ImputationEngine::Load(path);
+      const Status st =
+          engine.ok() ? server.HotSwap(std::move(*engine)) : engine.status();
+      std::printf("reload %s: %s\n", path.c_str(),
+                  st.ok() ? "swapped" : st.ToString().c_str());
+    }
+  }
+  server.Shutdown();
   g_server = nullptr;
 
   if (!report_out.empty()) {
     obs::RunReport report("scis_serve");
     report.AddConfig("params", params);
+    report.AddConfig("shards", static_cast<int64_t>(shards));
     report.AddConfig("max_batch_rows", static_cast<int64_t>(max_batch_rows));
     report.AddConfig("max_queue_rows", static_cast<int64_t>(max_queue_rows));
     report.AddConfig("max_wait_ms", max_wait_ms);

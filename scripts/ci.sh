@@ -18,18 +18,20 @@ case "$MODE" in
     cmake --build --preset default -j "$JOBS"
     ctest --preset tier1 -j "$JOBS"
 
-    # Serving loopback smoke test: train a tiny model, save a v2 checkpoint,
-    # serve it over TCP, impute through scis_client, and require the served
-    # CSV to be byte-identical to the offline scis_impute output.
+    # Serving loopback smoke test: train a tiny model, save both checkpoint
+    # formats, serve the mmap-able v3 binary across 2 shards over TCP,
+    # impute through scis_client, and require the served CSV to be
+    # byte-identical to the offline scis_impute output.
     SMOKE="$(mktemp -d)"
     trap 'rm -rf "$SMOKE"' EXIT
     ./build/examples/scis_datagen --dataset Trial --scale 0.005 \
       --output "$SMOKE/tiny.csv" >/dev/null
     ./build/examples/scis_impute --input "$SMOKE/tiny.csv" \
       --output "$SMOKE/offline.csv" --method SCIS-GAIN --epochs 2 --n0 32 \
-      --seed 3 --save_params "$SMOKE/model.ckpt" >/dev/null
-    ./build/examples/scis_serve --params "$SMOKE/model.ckpt" --port 0 \
-      --port_file "$SMOKE/serve.port" &
+      --seed 3 --save_params "$SMOKE/model.ckpt" \
+      --save_params_bin "$SMOKE/model.bin" >/dev/null
+    ./build/examples/scis_serve --params "$SMOKE/model.bin" --shards 2 \
+      --port 0 --port_file "$SMOKE/serve.port" &
     SERVE_PID=$!
     for _ in $(seq 50); do
       [ -s "$SMOKE/serve.port" ] && break
@@ -42,7 +44,7 @@ case "$MODE" in
       --shutdown >/dev/null
     wait "$SERVE_PID"
     cmp "$SMOKE/offline.csv" "$SMOKE/served.csv"
-    echo "serve loopback smoke: OK (served == offline, bit-identical)"
+    echo "serve loopback smoke: OK (2 shards, v3 mmap ckpt, served == offline)"
 
     # Perf smoke: the kernel bench sweep must run to completion and emit a
     # parseable json (quick mode — small sizes, short timing windows; the
@@ -66,6 +68,19 @@ assert all(p['bit_identical_1_2_4_threads'] for p in d['sweep']), d" \
       "$SMOKE/bench_index.json"
     echo "index bench smoke: OK ($(python3 -c "import json,sys; \
 print(len(json.load(open(sys.argv[1]))['sweep']))" "$SMOKE/bench_index.json") sweep points)"
+
+    # Serve perf smoke: the connections x shards TCP sweep must complete,
+    # every cell must be bit-identical to the offline engine, and the json
+    # must parse (quick mode; the committed full-mode baseline is
+    # bench/BENCH_serve.json).
+    ./build/bench/serve_latency --quick \
+      --bench-json="$SMOKE/bench_serve.json" >/dev/null
+    python3 -c "import json,sys; d=json.load(open(sys.argv[1])); \
+assert d['schema']=='scis-bench-serve-v1' and d['sweep'], d; \
+assert all(p['bit_identical'] for p in d['sweep']), d" \
+      "$SMOKE/bench_serve.json"
+    echo "serve bench smoke: OK ($(python3 -c "import json,sys; \
+print(len(json.load(open(sys.argv[1]))['sweep']))" "$SMOKE/bench_serve.json") sweep points, all bit-identical)"
     ;;
   nightly)
     # High iteration counts: the nightly executable scales its property

@@ -22,11 +22,30 @@
 //   <values>
 //   ...
 //
-// LoadParams accepts both versions, so v1 checkpoints written before the
-// serving subsystem keep loading.
+// v3 (binary, mmap-able — the serving fleet's cold-start format):
+//   [8 bytes]  magic "scisckp3"
+//   [u32]      endian tag 0x01020304 (little-endian files only)
+//   [u32]      model tag length, then the tag bytes
+//   [u32]      column count d, then per column:
+//                [u32 kind][u32 num_categories][u32 name_len][name bytes]
+//   [d f64]    normalizer lo, [d f64] normalizer hi
+//   [u32]      param count, then per param:
+//                [u32 name_len][name bytes][u64 rows][u64 cols]
+//                [u64 offset]  — element offset into the value blob
+//   [pad]      zero padding to a 64-byte boundary
+//   [blob]     all parameter values, row-major f64, each param aligned to
+//              64 bytes within the blob
+// Integers and doubles are little-endian host layout; the whole file can be
+// mmap-ed and the value blob used in place (zero-copy weight loading via
+// MappedCheckpoint — engines keep the mapping alive for as long as they
+// serve from it).
+//
+// LoadParams/LoadCheckpoint accept all three versions, so checkpoints
+// written before the serving subsystem keep loading.
 #ifndef SCIS_NN_SERIALIZE_H_
 #define SCIS_NN_SERIALIZE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -71,8 +90,53 @@ Status SaveParams(const ParamStore& store, const std::string& path);
 Status SaveCheckpoint(const ParamStore& store, const CheckpointMeta& meta,
                       const std::string& path);
 
-// Reads a v1 or v2 checkpoint without needing a pre-built store (the
-// serving path, which reconstructs the network from the file alone).
+// Writes a self-contained v3 binary checkpoint (see format above). Same
+// content as SaveCheckpoint, but mmap-able: MappedCheckpoint::Map serves the
+// weights straight out of the page cache with zero copies.
+Status SaveCheckpointBinary(const ParamStore& store, const CheckpointMeta& meta,
+                            const std::string& path);
+
+// True when the file starts with the v3 binary magic.
+bool IsBinaryCheckpoint(const std::string& path);
+
+// A v3 checkpoint mapped read-only into memory. Parameter values are views
+// into the mapping (no copies); holders of a view must keep the
+// MappedCheckpoint alive, which is why Map hands out a shared_ptr.
+class MappedCheckpoint {
+ public:
+  struct ParamView {
+    std::string name;
+    size_t rows = 0, cols = 0;
+    const double* data = nullptr;  // rows*cols doubles inside the mapping
+  };
+
+  static Result<std::shared_ptr<const MappedCheckpoint>> Map(
+      const std::string& path);
+
+  ~MappedCheckpoint();
+  MappedCheckpoint(const MappedCheckpoint&) = delete;
+  MappedCheckpoint& operator=(const MappedCheckpoint&) = delete;
+
+  const CheckpointMeta& meta() const { return meta_; }
+  const std::vector<ParamView>& params() const { return params_; }
+
+  // Deep-copies into an owning Checkpoint (version 3) — the compatibility
+  // bridge for LoadCheckpoint/LoadParams callers.
+  Checkpoint ToCheckpoint() const;
+
+ private:
+  MappedCheckpoint() = default;
+
+  CheckpointMeta meta_;
+  std::vector<ParamView> params_;
+  void* map_base_ = nullptr;
+  size_t map_len_ = 0;
+};
+
+// Reads a v1, v2, or v3 checkpoint without needing a pre-built store (the
+// serving path, which reconstructs the network from the file alone). v3
+// files are mapped, copied, and unmapped; use MappedCheckpoint::Map directly
+// to keep the zero-copy views.
 Result<Checkpoint> LoadCheckpoint(const std::string& path);
 
 // Restores values into an already-built `store`; parameter names, count,

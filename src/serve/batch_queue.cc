@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -61,12 +62,44 @@ struct Request {
   Matrix rows;
   Clock::time_point enqueued_at;
   Clock::time_point deadline;  // time_point::max() = no timeout
+  BatchQueue::ImputeCallback callback;  // empty = a blocked Impute() waiter
   bool done = false;           // guarded by State::mu
   Status status;               // written before done flips
   Matrix result;               // written before done flips
 };
 
+Status TimeoutStatus(double timeout_ms) {
+  return Status::DeadlineExceeded("request spent more than " +
+                                  std::to_string(timeout_ms) + " ms queued");
+}
+
 }  // namespace
+
+EngineSlot::EngineSlot(std::shared_ptr<const ImputationEngine> engine)
+    : engine_(std::move(engine)) {
+  SCIS_CHECK(engine_ != nullptr);
+}
+
+std::shared_ptr<const ImputationEngine> EngineSlot::Get() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return engine_;
+}
+
+Status EngineSlot::Swap(std::shared_ptr<const ImputationEngine> next) {
+  static obs::Counter* swaps =
+      obs::Registry::Global().GetCounter("serve.hot_swaps");
+  if (next == nullptr) return Status::InvalidArgument("null engine");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (next->num_cols() != engine_->num_cols()) {
+    return Status::InvalidArgument(
+        "hot-swap schema mismatch: serving " +
+        std::to_string(engine_->num_cols()) + " columns, replacement has " +
+        std::to_string(next->num_cols()));
+  }
+  engine_ = std::move(next);
+  swaps->Add();
+  return Status::OK();
+}
 
 struct BatchQueue::State {
   std::mutex mu;
@@ -75,25 +108,29 @@ struct BatchQueue::State {
   std::deque<std::shared_ptr<Request>> queue;
   size_t queued_rows = 0;
   size_t in_flight_batches = 0;
+  size_t pending_callbacks = 0;  // completed but callback not yet returned
   bool shutdown = false;
 };
 
 BatchQueue::BatchQueue(std::shared_ptr<const ImputationEngine> engine,
                        BatchQueueOptions opts)
-    : engine_(std::move(engine)),
+    : BatchQueue(std::make_shared<EngineSlot>(std::move(engine)), opts) {}
+
+BatchQueue::BatchQueue(std::shared_ptr<EngineSlot> slot, BatchQueueOptions opts)
+    : slot_(std::move(slot)),
       opts_(opts),
       state_(std::make_shared<State>()) {
-  SCIS_CHECK(engine_ != nullptr);
+  SCIS_CHECK(slot_ != nullptr);
   SCIS_CHECK_GE(opts_.max_batch_rows, 1u);
   SCIS_CHECK_GE(opts_.max_queue_rows, 1u);
   Metrics();  // register handles before worker threads race to create them
   // The dispatcher captures shared copies so it never reads `this`.
   std::shared_ptr<State> state = state_;
-  std::shared_ptr<const ImputationEngine> eng = engine_;
+  std::shared_ptr<EngineSlot> s = slot_;
   BatchQueueOptions o = opts_;
-  dispatcher_ = std::thread([state, eng, o] {
+  dispatcher_ = std::thread([state, s, o] {
     obs::SetCurrentThreadName("serve-dispatcher");
-    DispatcherLoop(state, eng, o);
+    DispatcherLoop(state, s, o);
   });
 }
 
@@ -111,11 +148,12 @@ Result<Matrix> BatchQueue::Impute(const Matrix& rows) {
   QueueMetrics& metrics = Metrics();
   metrics.requests->Add();
   if (rows.rows() == 0) return Status::InvalidArgument("empty request");
-  if (rows.cols() != engine_->num_cols()) {
+  if (rows.cols() != slot_->Get()->num_cols()) {
     metrics.rejected->Add();
     return Status::InvalidArgument(
         "request has " + std::to_string(rows.cols()) +
-        " columns, model expects " + std::to_string(engine_->num_cols()));
+        " columns, model expects " +
+        std::to_string(slot_->Get()->num_cols()));
   }
 
   auto req = std::make_shared<Request>();
@@ -149,9 +187,59 @@ Result<Matrix> BatchQueue::Impute(const Matrix& rows) {
   return std::move(req->result);
 }
 
+void BatchQueue::ImputeAsync(Matrix rows, ImputeCallback done) {
+  SCIS_CHECK(done != nullptr);
+  QueueMetrics& metrics = Metrics();
+  metrics.requests->Add();
+  if (rows.rows() == 0) {
+    done(Status::InvalidArgument("empty request"));
+    return;
+  }
+  if (rows.cols() != slot_->Get()->num_cols()) {
+    metrics.rejected->Add();
+    done(Status::InvalidArgument(
+        "request has " + std::to_string(rows.cols()) +
+        " columns, model expects " +
+        std::to_string(slot_->Get()->num_cols())));
+    return;
+  }
+  auto req = std::make_shared<Request>();
+  const size_t nrows = rows.rows();
+  req->rows = std::move(rows);
+  req->callback = std::move(done);
+  {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    if (state_->shutdown) {
+      metrics.rejected->Add();
+      lock.unlock();
+      req->callback(Status::Unavailable("imputation queue is shutting down"));
+      return;
+    }
+    if (state_->queued_rows + nrows > opts_.max_queue_rows) {
+      metrics.rejected->Add();
+      const std::string msg = "imputation queue full (" +
+                              std::to_string(state_->queued_rows) + " of " +
+                              std::to_string(opts_.max_queue_rows) +
+                              " rows queued)";
+      lock.unlock();
+      req->callback(Status::Unavailable(msg));
+      return;
+    }
+    req->enqueued_at = Clock::now();
+    req->deadline =
+        opts_.request_timeout_ms > 0
+            ? req->enqueued_at + MsToDuration(opts_.request_timeout_ms)
+            : Clock::time_point::max();
+    state_->queue.push_back(req);
+    state_->queued_rows += nrows;
+    metrics.queue_depth->Set(static_cast<double>(state_->queued_rows));
+    state_->cv_work.notify_one();
+  }
+}
+
 // static
 void BatchQueue::FlushLocked(std::shared_ptr<State>& state,
-                             const std::shared_ptr<const ImputationEngine>& engine,
+                             const std::shared_ptr<EngineSlot>& slot,
                              const BatchQueueOptions& opts,
                              std::unique_lock<std::mutex>& lock) {
   QueueMetrics& metrics = Metrics();
@@ -160,6 +248,7 @@ void BatchQueue::FlushLocked(std::shared_ptr<State>& state,
   // Collect whole requests up to the batch target, failing the ones whose
   // deadline expired while they waited.
   std::vector<std::shared_ptr<Request>> batch;
+  std::vector<std::shared_ptr<Request>> expired;
   size_t batch_rows = 0;
   while (!state->queue.empty() && batch_rows < opts.max_batch_rows) {
     std::shared_ptr<Request> req = state->queue.front();
@@ -167,10 +256,12 @@ void BatchQueue::FlushLocked(std::shared_ptr<State>& state,
     state->queued_rows -= req->rows.rows();
     if (now >= req->deadline) {
       metrics.timed_out->Add();
-      req->status = Status::DeadlineExceeded(
-          "request spent more than " + std::to_string(opts.request_timeout_ms) +
-          " ms queued");
+      req->status = TimeoutStatus(opts.request_timeout_ms);
       req->done = true;
+      if (req->callback) {
+        ++state->pending_callbacks;
+        expired.push_back(std::move(req));
+      }
       continue;
     }
     batch_rows += req->rows.rows();
@@ -178,23 +269,61 @@ void BatchQueue::FlushLocked(std::shared_ptr<State>& state,
   }
   metrics.queue_depth->Set(static_cast<double>(state->queued_rows));
   state->cv_done.notify_all();  // wake timed-out waiters
-  if (batch.empty()) return;
+  if (batch.empty() && expired.empty()) return;
 
-  ++state->in_flight_batches;
+  if (!batch.empty()) ++state->in_flight_batches;
   lock.unlock();
 
-  auto execute = [state, engine, batch = std::move(batch), batch_rows] {
+  for (const std::shared_ptr<Request>& req : expired) {
+    metrics.request_ms->Observe(DurationToMs(now - req->enqueued_at));
+    req->callback(req->status);
+  }
+  if (!expired.empty()) {
+    std::lock_guard<std::mutex> relock(state->mu);
+    state->pending_callbacks -= expired.size();
+    state->cv_done.notify_all();
+  }
+
+  if (batch.empty()) {
+    lock.lock();
+    return;
+  }
+
+  auto execute = [state, slot, batch = std::move(batch),
+                  timeout_ms = opts.request_timeout_ms] {
     SCIS_TRACE_SPAN("serve.batch");
     QueueMetrics& m = Metrics();
     const Clock::time_point start = Clock::now();
-    // Single-request batches skip the stacking copy — the low-traffic case.
+
+    // Deadline re-check at execution time: this batch may have waited in
+    // the pool queue behind earlier batches, so requests can expire between
+    // dispatch and execution. Expired ones complete with kDeadlineExceeded
+    // and are excluded from the engine run.
+    std::vector<std::shared_ptr<Request>> live;
+    std::vector<std::shared_ptr<Request>> late;
+    live.reserve(batch.size());
+    for (const std::shared_ptr<Request>& req : batch) {
+      if (start >= req->deadline) {
+        m.timed_out->Add();
+        late.push_back(req);
+      } else {
+        live.push_back(req);
+      }
+    }
+
+    size_t live_rows = 0;
+    for (const std::shared_ptr<Request>& req : live) {
+      live_rows += req->rows.rows();
+    }
     Result<Matrix> result = Status::OK();
-    if (batch.size() == 1) {
-      result = engine->ImputeBatch(batch[0]->rows);
-    } else {
-      Matrix stacked(batch_rows, engine->num_cols());
+    if (live.size() == 1) {
+      // Single-request batches skip the stacking copy — the low-traffic case.
+      result = slot->Get()->ImputeBatch(live[0]->rows);
+    } else if (!live.empty()) {
+      const std::shared_ptr<const ImputationEngine> engine = slot->Get();
+      Matrix stacked(live_rows, engine->num_cols());
       size_t at = 0;
-      for (const auto& req : batch) {
+      for (const std::shared_ptr<Request>& req : live) {
         std::copy(req->rows.data(), req->rows.data() + req->rows.size(),
                   stacked.row_data(at));
         at += req->rows.rows();
@@ -202,7 +331,7 @@ void BatchQueue::FlushLocked(std::shared_ptr<State>& state,
       result = engine->ImputeBatch(stacked);
     }
     size_t at = 0;
-    for (const auto& req : batch) {
+    for (const std::shared_ptr<Request>& req : live) {
       if (result.ok()) {
         req->result = result.value().RowRange(at, at + req->rows.rows());
         at += req->rows.rows();
@@ -210,16 +339,38 @@ void BatchQueue::FlushLocked(std::shared_ptr<State>& state,
         req->status = result.status();
       }
     }
-    m.batches->Add();
-    m.batch_rows->Observe(static_cast<double>(batch_rows));
-    m.batch_ms->Observe(DurationToMs(Clock::now() - start));
+    for (const std::shared_ptr<Request>& req : late) {
+      req->status = TimeoutStatus(timeout_ms);
+    }
+    if (!live.empty()) {
+      m.batches->Add();
+      m.batch_rows->Observe(static_cast<double>(live_rows));
+      m.batch_ms->Observe(DurationToMs(Clock::now() - start));
+    }
+    std::vector<std::shared_ptr<Request>> callbacks;
     {
       std::lock_guard<std::mutex> relock(state->mu);
-      for (const auto& req : batch) req->done = true;
-      --state->in_flight_batches;
+      for (const std::shared_ptr<Request>& req : batch) {
+        req->done = true;
+        if (req->callback) {
+          ++state->pending_callbacks;
+          callbacks.push_back(req);
+        }
+      }
       // Notify under the lock: waiters (including ~BatchQueue's drain) may
       // release the State right after waking, and the shared_ptr captured
       // here keeps mu/cv alive until this task returns.
+      state->cv_done.notify_all();
+    }
+    for (const std::shared_ptr<Request>& req : callbacks) {
+      m.request_ms->Observe(DurationToMs(Clock::now() - req->enqueued_at));
+      req->callback(req->status.ok() ? Result<Matrix>(std::move(req->result))
+                                     : Result<Matrix>(req->status));
+    }
+    {
+      std::lock_guard<std::mutex> relock(state->mu);
+      if (!callbacks.empty()) state->pending_callbacks -= callbacks.size();
+      --state->in_flight_batches;
       state->cv_done.notify_all();
       state->cv_work.notify_all();  // dispatcher may be draining on shutdown
     }
@@ -238,7 +389,7 @@ void BatchQueue::FlushLocked(std::shared_ptr<State>& state,
 
 // static
 void BatchQueue::DispatcherLoop(std::shared_ptr<State> state,
-                                std::shared_ptr<const ImputationEngine> engine,
+                                std::shared_ptr<EngineSlot> slot,
                                 BatchQueueOptions opts) {
   std::unique_lock<std::mutex> lock(state->mu);
   for (;;) {
@@ -258,7 +409,7 @@ void BatchQueue::DispatcherLoop(std::shared_ptr<State> state,
 
     if (state->queued_rows >= opts.max_batch_rows || state->shutdown ||
         now >= wake) {
-      FlushLocked(state, engine, opts, lock);
+      FlushLocked(state, slot, opts, lock);
       continue;
     }
     state->cv_work.wait_until(lock, wake, [&] {
@@ -271,10 +422,12 @@ void BatchQueue::Shutdown() {
   std::unique_lock<std::mutex> lock(state_->mu);
   state_->shutdown = true;
   state_->cv_work.notify_all();
-  // Drain: every queued request completes (executed or expired) and every
-  // in-flight batch lands before Shutdown returns.
+  // Drain: every queued request completes (executed or expired), every
+  // in-flight batch lands, and every completion callback has returned
+  // before Shutdown does.
   state_->cv_done.wait(lock, [&] {
-    return state_->queue.empty() && state_->in_flight_batches == 0;
+    return state_->queue.empty() && state_->in_flight_batches == 0 &&
+           state_->pending_callbacks == 0;
   });
 }
 

@@ -1,6 +1,7 @@
 // BatchQueue: dynamic micro-batching in front of an ImputationEngine.
 //
-// Concurrent callers block in Impute(); a dispatcher thread coalesces their
+// Concurrent callers block in Impute() (or hand a completion callback to
+// ImputeAsync(), the event-loop path); a dispatcher thread coalesces their
 // requests into micro-batches, flushing when the queued rows reach
 // max_batch_rows or the oldest request has waited max_wait_ms — the classic
 // latency/throughput knob of online inference servers. Batches execute on
@@ -12,10 +13,20 @@
 // work). Admission is checked synchronously — a full queue rejects with
 // kUnavailable instead of blocking, so callers (and remote clients) see
 // overload immediately. Requests that wait longer than request_timeout_ms
-// without being dispatched fail with kDeadlineExceeded.
+// without being dispatched fail with kDeadlineExceeded. Deadlines are
+// re-checked when a batch actually starts executing, not just when it is
+// dispatched: a batch can sit in the pool queue behind earlier batches, and
+// a request whose deadline passed while it waited there completes with
+// kDeadlineExceeded instead of being executed late.
 //
 // Shutdown drains: queued requests are still batched and executed, in-flight
 // batches complete, then new work is rejected with kUnavailable.
+//
+// Hot-swap: the queue reads its engine through an EngineSlot at the moment a
+// batch executes. EngineSlot::Swap atomically publishes a new engine version
+// (same column schema) under traffic; every batch runs wholly on one
+// version, so served rows are always bit-identical to *some* published
+// checkpoint's offline output.
 //
 // Because every engine output row depends only on its own input row,
 // results are bit-identical no matter how requests are interleaved into
@@ -24,6 +35,7 @@
 #ifndef SCIS_SERVE_BATCH_QUEUE_H_
 #define SCIS_SERVE_BATCH_QUEUE_H_
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -34,6 +46,24 @@
 
 namespace scis::serve {
 
+// A swappable engine reference. Readers pay one mutex acquisition per batch;
+// Swap validates that the replacement serves the same column schema so
+// routing and queued requests stay valid across the swap.
+class EngineSlot {
+ public:
+  explicit EngineSlot(std::shared_ptr<const ImputationEngine> engine);
+
+  std::shared_ptr<const ImputationEngine> Get() const;
+
+  // Atomically publishes `next`. Fails (and leaves the slot untouched) when
+  // the schema width differs from the current engine's.
+  Status Swap(std::shared_ptr<const ImputationEngine> next);
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const ImputationEngine> engine_;
+};
+
 struct BatchQueueOptions {
   size_t max_batch_rows = 64;     // flush when this many rows are queued
   size_t max_queue_rows = 1024;   // admission bound on undispatched rows
@@ -43,8 +73,13 @@ struct BatchQueueOptions {
 
 class BatchQueue {
  public:
+  // Completion callbacks run on the thread that finished the batch (a pool
+  // worker or the dispatcher) — they must not block on queue operations.
+  using ImputeCallback = std::function<void(Result<Matrix>)>;
+
   BatchQueue(std::shared_ptr<const ImputationEngine> engine,
              BatchQueueOptions opts);
+  BatchQueue(std::shared_ptr<EngineSlot> slot, BatchQueueOptions opts);
   ~BatchQueue();  // Shutdown() + join
 
   BatchQueue(const BatchQueue&) = delete;
@@ -55,6 +90,11 @@ class BatchQueue {
   // exceed max_queue_rows or the queue is shutting down, and with
   // kDeadlineExceeded when the request times out while queued.
   Result<Matrix> Impute(const Matrix& rows);
+
+  // Non-blocking variant for event-driven callers: enqueues and returns;
+  // `done` fires exactly once with the result or error. Admission failures
+  // invoke `done` synchronously before returning.
+  void ImputeAsync(Matrix rows, ImputeCallback done);
 
   // Stops admitting work, drains queued requests and in-flight batches,
   // then stops the dispatcher. Idempotent.
@@ -70,14 +110,14 @@ class BatchQueue {
   struct State;
 
   static void DispatcherLoop(std::shared_ptr<State> state,
-                             std::shared_ptr<const ImputationEngine> engine,
+                             std::shared_ptr<EngineSlot> slot,
                              BatchQueueOptions opts);
   static void FlushLocked(std::shared_ptr<State>& state,
-                          const std::shared_ptr<const ImputationEngine>& engine,
+                          const std::shared_ptr<EngineSlot>& slot,
                           const BatchQueueOptions& opts,
                           std::unique_lock<std::mutex>& lock);
 
-  std::shared_ptr<const ImputationEngine> engine_;
+  std::shared_ptr<EngineSlot> slot_;
   BatchQueueOptions opts_;
   std::shared_ptr<State> state_;
   std::thread dispatcher_;

@@ -86,6 +86,9 @@ Result<Frame> ImputationClient::RoundTrip(const Frame& request) {
       return Status::IoError("read failed: " + std::string(strerror(errno)));
     }
     if (n == 0) {
+      // Distinguish a truncated frame from a clean close between frames.
+      const Status trunc = reader_.AtEof();
+      if (!trunc.ok()) return trunc;
       return Status::IoError("server closed the connection mid-response");
     }
     reader_.Append(buf, static_cast<size_t>(n));

@@ -10,6 +10,11 @@ namespace scis::serve {
 
 Result<std::shared_ptr<const ImputationEngine>> ImputationEngine::Load(
     const std::string& path) {
+  if (IsBinaryCheckpoint(path)) {
+    SCIS_ASSIGN_OR_RETURN(std::shared_ptr<const MappedCheckpoint> mapped,
+                          MappedCheckpoint::Map(path));
+    return FromMapped(std::move(mapped));
+  }
   SCIS_ASSIGN_OR_RETURN(Checkpoint ckpt, LoadCheckpoint(path));
   return FromCheckpoint(ckpt);
 }
@@ -21,6 +26,22 @@ Result<std::shared_ptr<const ImputationEngine>> ImputationEngine::Load(
   SCIS_ASSIGN_OR_RETURN(index::AnnIndex index,
                         index::AnnIndex::Load(index_path));
   return FromCheckpoint(ckpt, std::move(index), retrieval);
+}
+
+Result<std::shared_ptr<const ImputationEngine>> ImputationEngine::FromMapped(
+    std::shared_ptr<const MappedCheckpoint> mapped) {
+  if (mapped == nullptr) {
+    return Status::InvalidArgument("null mapped checkpoint");
+  }
+  std::vector<ParamRef> refs;
+  refs.reserve(mapped->params().size());
+  for (const MappedCheckpoint::ParamView& p : mapped->params()) {
+    refs.push_back({&p.name, p.rows, p.cols, p.data});
+  }
+  SCIS_ASSIGN_OR_RETURN(std::shared_ptr<ImputationEngine> engine,
+                        BuildFromParts(3, mapped->meta(), refs));
+  engine->mapped_ = std::move(mapped);  // keep the mmap alive for the views
+  return std::shared_ptr<const ImputationEngine>(std::move(engine));
 }
 
 Result<std::shared_ptr<const ImputationEngine>> ImputationEngine::FromCheckpoint(
@@ -54,72 +75,96 @@ Result<std::shared_ptr<const ImputationEngine>> ImputationEngine::FromCheckpoint
 
 Result<std::shared_ptr<ImputationEngine>> ImputationEngine::BuildFromCheckpoint(
     const Checkpoint& ckpt) {
-  if (ckpt.version < 2) {
+  std::vector<ParamRef> refs;
+  refs.reserve(ckpt.params.size());
+  for (const NamedParam& p : ckpt.params) {
+    refs.push_back({&p.name, p.value.rows(), p.value.cols(), p.value.data()});
+  }
+  SCIS_ASSIGN_OR_RETURN(std::shared_ptr<ImputationEngine> engine,
+                        BuildFromParts(ckpt.version, ckpt.meta, refs));
+  // Copy the weights into engine-owned storage and retarget the views: the
+  // caller's Checkpoint may not outlive the engine. Matrix moves keep their
+  // heap buffers, so the views stay valid as owned_ grows.
+  engine->owned_.reserve(ckpt.params.size());
+  for (size_t l = 0; l < engine->layers_.size(); ++l) {
+    for (WeightView* v : {&engine->layers_[l].w, &engine->layers_[l].b}) {
+      Matrix copy(v->rows, v->cols);
+      std::copy(v->data, v->data + copy.size(), copy.data());
+      engine->owned_.push_back(std::move(copy));
+      v->data = engine->owned_.back().data();
+    }
+  }
+  return engine;
+}
+
+Result<std::shared_ptr<ImputationEngine>> ImputationEngine::BuildFromParts(
+    int version, const CheckpointMeta& meta,
+    const std::vector<ParamRef>& params) {
+  if (version < 2) {
     return Status::InvalidArgument(
         "checkpoint is not self-contained (v1: weights only); re-save with "
         "scis_impute --save_params to get normalizer stats and schema");
   }
-  if (ckpt.meta.model != "GAIN") {
+  if (meta.model != "GAIN") {
     return Status::NotImplemented("serving supports feedforward GAIN-style "
                                   "generators; checkpoint model is '" +
-                                  ckpt.meta.model + "'");
+                                  meta.model + "'");
   }
-  const size_t d = ckpt.meta.columns.size();
+  const size_t d = meta.columns.size();
   if (d == 0) return Status::InvalidArgument("checkpoint has no columns");
-  if (ckpt.meta.norm_lo.size() != d || ckpt.meta.norm_hi.size() != d) {
+  if (meta.norm_lo.size() != d || meta.norm_hi.size() != d) {
     return Status::InvalidArgument("normalizer stats disagree with schema");
   }
   for (size_t j = 0; j < d; ++j) {
-    if (!std::isfinite(ckpt.meta.norm_lo[j]) ||
-        !std::isfinite(ckpt.meta.norm_hi[j]) ||
-        ckpt.meta.norm_hi[j] <= ckpt.meta.norm_lo[j]) {
+    if (!std::isfinite(meta.norm_lo[j]) || !std::isfinite(meta.norm_hi[j]) ||
+        meta.norm_hi[j] <= meta.norm_lo[j]) {
       return Status::InvalidArgument("normalizer stats invalid at column " +
                                      std::to_string(j));
     }
   }
-  if (ckpt.params.empty() || ckpt.params.size() % 2 != 0) {
+  if (params.empty() || params.size() % 2 != 0) {
     return Status::InvalidArgument(
         "generator parameters must be (W, b) pairs; checkpoint has " +
-        std::to_string(ckpt.params.size()));
+        std::to_string(params.size()));
   }
 
   auto engine = std::shared_ptr<ImputationEngine>(new ImputationEngine());
-  engine->model_ = ckpt.meta.model;
-  engine->lo_ = ckpt.meta.norm_lo;
-  engine->hi_ = ckpt.meta.norm_hi;
+  engine->model_ = meta.model;
+  engine->lo_ = meta.norm_lo;
+  engine->hi_ = meta.norm_hi;
   engine->columns_.reserve(d);
-  for (const CheckpointColumn& c : ckpt.meta.columns) {
-    ColumnMeta meta;
-    meta.name = c.name;
-    meta.kind = static_cast<ColumnKind>(c.kind);
-    meta.num_categories = c.num_categories;
-    engine->columns_.push_back(std::move(meta));
+  for (const CheckpointColumn& c : meta.columns) {
+    ColumnMeta cm;
+    cm.name = c.name;
+    cm.kind = static_cast<ColumnKind>(c.kind);
+    cm.num_categories = c.num_categories;
+    engine->columns_.push_back(std::move(cm));
   }
 
   // Reassemble the generator MLP: (W: in x out, b: 1 x out) pairs chained
   // [x, m] (2d) -> ... -> d, ReLU hidden / sigmoid output (GAIN §VI).
-  const size_t num_layers = ckpt.params.size() / 2;
+  const size_t num_layers = params.size() / 2;
   size_t expect_in = 2 * d;
   for (size_t l = 0; l < num_layers; ++l) {
-    const NamedParam& w = ckpt.params[2 * l];
-    const NamedParam& b = ckpt.params[2 * l + 1];
-    if (w.value.rows() != expect_in) {
+    const ParamRef& w = params[2 * l];
+    const ParamRef& b = params[2 * l + 1];
+    if (w.rows != expect_in) {
       return Status::InvalidArgument(
-          "layer " + std::to_string(l) + " weight '" + w.name + "' is " +
-          std::to_string(w.value.rows()) + "-in, expected " +
+          "layer " + std::to_string(l) + " weight '" + *w.name + "' is " +
+          std::to_string(w.rows) + "-in, expected " +
           std::to_string(expect_in));
     }
-    if (b.value.rows() != 1 || b.value.cols() != w.value.cols()) {
+    if (b.rows != 1 || b.cols != w.cols) {
       return Status::InvalidArgument("layer " + std::to_string(l) +
-                                     " bias '" + b.name +
+                                     " bias '" + *b.name +
                                      "' does not match its weight");
     }
     Layer layer;
-    layer.w = w.value;
-    layer.b = b.value;
+    layer.w = {w.data, w.rows, w.cols};
+    layer.b = {b.data, b.rows, b.cols};
     layer.sigmoid_out = (l + 1 == num_layers);
-    expect_in = w.value.cols();
-    engine->layers_.push_back(std::move(layer));
+    expect_in = w.cols;
+    engine->layers_.push_back(layer);
   }
   if (expect_in != d) {
     return Status::InvalidArgument("generator output width " +
@@ -165,7 +210,9 @@ Result<Matrix> ImputationEngine::ImputeBatch(const Matrix& rows) const {
   // so values match the offline tape path bit-for-bit.
   Matrix h = ConcatCols(x, m);
   for (const Layer& layer : layers_) {
-    h = AddRowBroadcast(MatMul(h, layer.w), layer.b);
+    h = AddRowBroadcastView(MatMulView(h, layer.w.data, layer.w.rows,
+                                       layer.w.cols),
+                            layer.b.data);
     h = layer.sigmoid_out ? Sigmoid(h) : Relu(h);
   }
 

@@ -44,8 +44,11 @@ struct RetrievalOptions {
 
 class ImputationEngine {
  public:
-  // Loads a v2 checkpoint from disk. v1 checkpoints are rejected: they lack
-  // the normalizer stats and schema needed to handle raw rows.
+  // Loads a v2 (text) or v3 (binary) checkpoint from disk. v1 checkpoints
+  // are rejected: they lack the normalizer stats and schema needed to handle
+  // raw rows. v3 files are mmap-ed and served zero-copy: the engine's weight
+  // views point into the page-cache-backed mapping, so a fleet hosting many
+  // models cold-starts without materializing any weight buffers.
   static Result<std::shared_ptr<const ImputationEngine>> Load(
       const std::string& path);
 
@@ -58,6 +61,12 @@ class ImputationEngine {
   // Builds an engine from an in-memory checkpoint (tests, benches).
   static Result<std::shared_ptr<const ImputationEngine>> FromCheckpoint(
       const Checkpoint& ckpt);
+
+  // Builds an engine over a mapped v3 checkpoint. Weights are served
+  // directly out of the mapping (zero-copy); the engine shares ownership of
+  // the mapping for its lifetime.
+  static Result<std::shared_ptr<const ImputationEngine>> FromMapped(
+      std::shared_ptr<const MappedCheckpoint> mapped);
 
   // In-memory checkpoint + index over normalized training rows.
   static Result<std::shared_ptr<const ImputationEngine>> FromCheckpoint(
@@ -78,9 +87,23 @@ class ImputationEngine {
   Result<Matrix> ImputeBatch(const Matrix& rows) const;
 
  private:
+  // A borrowed row-major weight buffer. For checkpoint-built engines it
+  // points into owned_; for mapped engines, straight into the mmap (both
+  // anchored by this object, so views never dangle).
+  struct WeightView {
+    const double* data = nullptr;
+    size_t rows = 0, cols = 0;
+  };
   struct Layer {
-    Matrix w, b;
+    WeightView w, b;
     bool sigmoid_out = false;  // hidden layers are ReLU (GAIN §VI)
+  };
+  // One (name, shape, data) triple per parameter — the common input the
+  // checkpoint and mmap construction paths both reduce to.
+  struct ParamRef {
+    const std::string* name;
+    size_t rows, cols;
+    const double* data;
   };
 
   ImputationEngine() = default;
@@ -89,11 +112,16 @@ class ImputationEngine {
   // optionally, the retrieval index) on top.
   static Result<std::shared_ptr<ImputationEngine>> BuildFromCheckpoint(
       const Checkpoint& ckpt);
+  static Result<std::shared_ptr<ImputationEngine>> BuildFromParts(
+      int version, const CheckpointMeta& meta,
+      const std::vector<ParamRef>& params);
 
   std::string model_;
   std::vector<ColumnMeta> columns_;
   std::vector<double> lo_, hi_;
   std::vector<Layer> layers_;
+  std::vector<Matrix> owned_;  // weight storage for checkpoint-built engines
+  std::shared_ptr<const MappedCheckpoint> mapped_;  // anchor for mmap views
   index::AnnIndex index_;  // empty unless retrieval is attached
   RetrievalOptions retrieval_;
 };

@@ -1,0 +1,98 @@
+#include "serve/fleet.h"
+
+#include <string>
+#include <utility>
+
+namespace scis::serve {
+
+Result<std::unique_ptr<EngineFleet>> EngineFleet::Create(
+    std::vector<std::shared_ptr<const ImputationEngine>> models, size_t shards,
+    const BatchQueueOptions& opts) {
+  if (models.empty()) return Status::InvalidArgument("fleet needs a model");
+  if (shards == 0) return Status::InvalidArgument("fleet needs >= 1 shard");
+  auto fleet = std::unique_ptr<EngineFleet>(new EngineFleet());
+  fleet->shards_ = shards;
+  fleet->models_.reserve(models.size());
+  for (std::shared_ptr<const ImputationEngine>& engine : models) {
+    if (engine == nullptr) return Status::InvalidArgument("null model");
+    const size_t cols = engine->num_cols();
+    for (const HostedModel& hosted : fleet->models_) {
+      if (hosted.cols == cols) {
+        return Status::InvalidArgument(
+            "two models serve " + std::to_string(cols) +
+            "-column schemas; request routing is by column count, so fleet "
+            "schema widths must be unique");
+      }
+    }
+    HostedModel hosted;
+    hosted.cols = cols;
+    hosted.slot = std::make_shared<EngineSlot>(std::move(engine));
+    hosted.queues.reserve(shards);
+    for (size_t s = 0; s < shards; ++s) {
+      hosted.queues.push_back(
+          std::make_unique<BatchQueue>(hosted.slot, opts));
+    }
+    fleet->models_.push_back(std::move(hosted));
+  }
+  return fleet;
+}
+
+EngineFleet::~EngineFleet() { Shutdown(); }
+
+// static
+uint64_t EngineFleet::HashBytes(const uint8_t* data, size_t n) {
+  // FNV-1a 64-bit: deterministic across runs and platforms (no seed), cheap
+  // enough to run on every request payload.
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+Result<BatchQueue*> EngineFleet::Route(size_t cols, uint64_t hash) const {
+  for (const HostedModel& hosted : models_) {
+    if (hosted.cols == cols) {
+      return hosted.queues[hash % shards_].get();
+    }
+  }
+  // Client-facing: a request with a width no model serves is a bad request,
+  // matching the single-model server's historical error code.
+  std::string widths;
+  for (const HostedModel& hosted : models_) {
+    if (!widths.empty()) widths += ", ";
+    widths += std::to_string(hosted.cols);
+  }
+  return Status::InvalidArgument("request has " + std::to_string(cols) +
+                                 " columns; hosted models expect " + widths);
+}
+
+Result<std::shared_ptr<const ImputationEngine>> EngineFleet::Model(
+    size_t cols) const {
+  for (const HostedModel& hosted : models_) {
+    if (hosted.cols == cols) return hosted.slot->Get();
+  }
+  return Status::NotFound("no hosted model serves a " + std::to_string(cols) +
+                          "-column schema");
+}
+
+Status EngineFleet::HotSwap(std::shared_ptr<const ImputationEngine> next) {
+  if (next == nullptr) return Status::InvalidArgument("null engine");
+  for (HostedModel& hosted : models_) {
+    if (hosted.cols == next->num_cols()) {
+      return hosted.slot->Swap(std::move(next));
+    }
+  }
+  return Status::NotFound("no hosted model serves a " +
+                          std::to_string(next->num_cols()) +
+                          "-column schema; hot-swap cannot add models");
+}
+
+void EngineFleet::Shutdown() {
+  for (HostedModel& hosted : models_) {
+    for (std::unique_ptr<BatchQueue>& q : hosted.queues) q->Shutdown();
+  }
+}
+
+}  // namespace scis::serve

@@ -1,0 +1,84 @@
+// EngineFleet: the sharded serving tier behind the event loop.
+//
+// A fleet hosts M models (each identified by its column-schema width, which
+// is what an impute request carries on the wire) and runs S shards: every
+// (model, shard) pair owns an independent BatchQueue, so shards micro-batch
+// and execute independently — the scaling unit of the ISSUE-7 serving
+// design. Routing is deterministic:
+//
+//   model  <- request column count (schema widths must be unique per fleet)
+//   shard  <- FNV-1a hash of the request payload bytes, mod S
+//
+// Both inputs are pure functions of the request bytes, so a replayed
+// request always lands on the same shard — and because every engine output
+// row depends only on its own input row, the served bytes are bit-identical
+// for any shard count (tests hold S=1 vs S=4 byte-equal to offline
+// scis_impute output).
+//
+// Hot-swap: all S shards of a model read the same EngineSlot, so
+// HotSwap(next) atomically moves the whole model to the new version under
+// traffic. Each batch runs wholly on one version; schema width is validated
+// so queued requests stay routable.
+#ifndef SCIS_SERVE_FLEET_H_
+#define SCIS_SERVE_FLEET_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/batch_queue.h"
+#include "serve/engine.h"
+
+namespace scis::serve {
+
+class EngineFleet {
+ public:
+  // Builds a fleet of `shards` BatchQueues per model. Fails when models is
+  // empty, shards == 0, or two models share a column width (routing would
+  // be ambiguous).
+  static Result<std::unique_ptr<EngineFleet>> Create(
+      std::vector<std::shared_ptr<const ImputationEngine>> models,
+      size_t shards, const BatchQueueOptions& opts);
+
+  ~EngineFleet();  // Shutdown()
+
+  EngineFleet(const EngineFleet&) = delete;
+  EngineFleet& operator=(const EngineFleet&) = delete;
+
+  size_t num_models() const { return models_.size(); }
+  size_t num_shards() const { return shards_; }
+
+  // FNV-1a over the request payload — the deterministic shard key.
+  static uint64_t HashBytes(const uint8_t* data, size_t n);
+
+  // The queue serving (model with `cols` columns, hash % shards).
+  // kInvalidArgument (a client error) when no hosted model has that width.
+  Result<BatchQueue*> Route(size_t cols, uint64_t hash) const;
+
+  // Engine snapshot for the model serving `cols` (introspection, tests).
+  Result<std::shared_ptr<const ImputationEngine>> Model(size_t cols) const;
+
+  // Atomically replaces the model whose schema width matches `next`.
+  // kNotFound when the fleet hosts no model of that width.
+  Status HotSwap(std::shared_ptr<const ImputationEngine> next);
+
+  // Drains every shard queue. Idempotent.
+  void Shutdown();
+
+ private:
+  struct HostedModel {
+    size_t cols = 0;
+    std::shared_ptr<EngineSlot> slot;
+    std::vector<std::unique_ptr<BatchQueue>> queues;  // one per shard
+  };
+
+  EngineFleet() = default;
+
+  size_t shards_ = 0;
+  std::vector<HostedModel> models_;
+};
+
+}  // namespace scis::serve
+
+#endif  // SCIS_SERVE_FLEET_H_

@@ -1,0 +1,149 @@
+#include "serve/io.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace scis::serve {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::string(strerror(errno)));
+}
+
+}  // namespace
+
+Status SetNonBlockingCloexec(int fd) {
+  const int fl = ::fcntl(fd, F_GETFL);
+  if (fl < 0 || ::fcntl(fd, F_SETFL, fl | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  const int fdfl = ::fcntl(fd, F_GETFD);
+  if (fdfl < 0 || ::fcntl(fd, F_SETFD, fdfl | FD_CLOEXEC) < 0) {
+    return Errno("fcntl(FD_CLOEXEC)");
+  }
+  return Status::OK();
+}
+
+Result<int> ListenTcp(const std::string& host, int port, int backlog,
+                      int* bound_port) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad bind address: " + host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st =
+        Errno("bind " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, backlog) != 0) {
+    const Status st = Errno("listen");
+    ::close(fd);
+    return st;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const Status st = Errno("getsockname");
+    ::close(fd);
+    return st;
+  }
+  if (bound_port != nullptr) *bound_port = ntohs(bound.sin_port);
+  return fd;
+}
+
+int OpenReserveFd() { return ::open("/dev/null", O_RDONLY | O_CLOEXEC); }
+
+AcceptResult AcceptConnection(int listen_fd, int* reserve_fd) {
+  static obs::Counter* shed =
+      obs::Registry::Global().GetCounter("serve.accept_shed");
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd >= 0) {
+      const int one = 1;
+      if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+        // Peer already reset; every error path must close the accepted fd.
+        ::close(fd);
+        continue;
+      }
+      return {AcceptResult::kAccepted, fd};
+    }
+    switch (errno) {
+      case EINTR:
+      case ECONNABORTED:  // peer gave up while queued — not our problem
+        continue;
+      case EAGAIN:
+        return {AcceptResult::kWouldBlock, -1};
+      case EMFILE:
+      case ENFILE: {
+        // Shed: the pending connection stays readable forever if ignored,
+        // re-waking an edge... level-triggered listener in a hot loop.
+        // Burn the reserve fd to accept it, close it (peer sees EOF — an
+        // unambiguous "try elsewhere"), then re-arm the reserve.
+        shed->Add();
+        if (reserve_fd != nullptr && *reserve_fd >= 0) {
+          ::close(*reserve_fd);
+          const int doomed = ::accept(listen_fd, nullptr, nullptr);
+          if (doomed >= 0) ::close(doomed);
+          *reserve_fd = OpenReserveFd();
+        }
+        return {AcceptResult::kShed, -1};
+      }
+      default:
+        return {AcceptResult::kClosed, -1};
+    }
+  }
+}
+
+Status WriteSome(int fd, const std::vector<uint8_t>& buf, size_t* off) {
+  while (*off < buf.size()) {
+    const ssize_t n = ::send(fd, buf.data() + *off, buf.size() - *off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::OK();
+      return Errno("send");
+    }
+    *off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status ReadAvailable(int fd, std::vector<uint8_t>* out, bool* eof) {
+  *eof = false;
+  uint8_t chunk[16384];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::OK();
+      return Errno("recv");
+    }
+    if (n == 0) {
+      *eof = true;
+      return Status::OK();
+    }
+    out->insert(out->end(), chunk, chunk + n);
+  }
+}
+
+}  // namespace scis::serve

@@ -1,0 +1,70 @@
+// Nonblocking socket plumbing for the event-driven server.
+//
+// Small POSIX wrappers with Status-typed errors, kept apart from the event
+// loop so fd lifecycle rules live in one place:
+//   - every fd is created O_NONBLOCK + FD_CLOEXEC (accept4 / explicit fcntl),
+//     so serving never leaks sockets into forked tooling (scripts/ci.sh runs
+//     the server under a shell that forks constantly);
+//   - connection sockets get TCP_NODELAY (frames are small; Nagle adds a
+//     round trip per micro-batch);
+//   - accept failure paths never leak the accepted fd, and EMFILE sheds load
+//     via a reserve fd (see AcceptResult::kShed) instead of spinning on a
+//     level-triggered readable listener.
+#ifndef SCIS_SERVE_IO_H_
+#define SCIS_SERVE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace scis::serve {
+
+// Marks an inherited fd nonblocking + close-on-exec.
+Status SetNonBlockingCloexec(int fd);
+
+// Creates a nonblocking, close-on-exec TCP listener bound to host:port
+// (port 0 = ephemeral). On success returns the fd; *bound_port reports the
+// actual port.
+Result<int> ListenTcp(const std::string& host, int port, int backlog,
+                      int* bound_port);
+
+// One accepted connection, or a reason there isn't one.
+struct AcceptResult {
+  enum Kind {
+    kAccepted,   // fd holds a ready nonblocking connection
+    kWouldBlock, // accept queue drained (EAGAIN) — wait for readiness
+    kShed,       // out of fds (EMFILE/ENFILE): one connection was accepted
+                 // and immediately closed so the queue cannot wedge
+    kClosed,     // listener is gone — stop accepting
+  };
+  Kind kind = kWouldBlock;
+  int fd = -1;
+};
+
+// Accepts one connection: nonblocking + cloexec (accept4) + TCP_NODELAY.
+// Transient per-connection errors (ECONNABORTED, early peer reset) report
+// kWouldBlock-like behavior by retrying internally; fd-exhaustion sheds.
+// `reserve_fd` is the EMFILE escape hatch owned by the caller: it is closed
+// to free a slot, the pending connection accepted and dropped, then the
+// reserve reopened. Pass -1 to shed without a reserve (best effort).
+AcceptResult AcceptConnection(int listen_fd, int* reserve_fd);
+
+// Opens the EMFILE reserve fd (/dev/null). Returns -1 when even that fails.
+int OpenReserveFd();
+
+// Nonblocking write of buf[off..size): advances *off past whatever the
+// kernel took. Returns OK (possibly with *off < size when the socket
+// filled), or kIoError for a dead peer. MSG_NOSIGNAL — a reset peer must
+// never SIGPIPE the event loop.
+Status WriteSome(int fd, const std::vector<uint8_t>& buf, size_t* off);
+
+// Nonblocking read into `out` (appends up to chunk bytes per syscall,
+// looping until EAGAIN — required under edge-triggered epoll). *eof flips
+// when the peer closed. Returns kIoError for a reset connection.
+Status ReadAvailable(int fd, std::vector<uint8_t>* out, bool* eof);
+
+}  // namespace scis::serve
+
+#endif  // SCIS_SERVE_IO_H_

@@ -78,6 +78,21 @@ Result<std::optional<Frame>> FrameReader::Next() {
   return std::optional<Frame>{std::move(frame)};
 }
 
+Status FrameReader::AtEof() const {
+  const size_t avail = buf_.size() - pos_;
+  if (avail == 0) return Status::OK();
+  if (avail < kFrameHeaderBytes) {
+    return Status::IoError("connection closed mid-frame: " +
+                           std::to_string(avail) + " of " +
+                           std::to_string(kFrameHeaderBytes) +
+                           " header bytes received");
+  }
+  const uint32_t len = GetU32(buf_.data() + pos_);
+  return Status::IoError("connection closed mid-frame: " +
+                         std::to_string(avail - kFrameHeaderBytes) + " of " +
+                         std::to_string(len) + " payload bytes received");
+}
+
 std::vector<uint8_t> EncodeMatrixPayload(const Matrix& m) {
   std::vector<uint8_t> out;
   out.reserve(8 + m.size() * 8);

@@ -69,6 +69,11 @@ class FrameReader {
   // peer truncated a frame mid-stream).
   size_t buffered() const { return buf_.size() - pos_; }
 
+  // Call when the stream hits EOF. OK for a clean close on a frame
+  // boundary; kIoError describing the truncation (mid-header or mid-payload,
+  // with byte counts) when the peer disconnected inside a frame.
+  Status AtEof() const;
+
  private:
   std::vector<uint8_t> buf_;
   size_t pos_ = 0;  // consumed prefix, compacted lazily

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <vector>
 
 #include "models/gain_imputer.h"
 #include "nn/serialize.h"
@@ -127,6 +128,104 @@ TEST(SerializeTest, SaveCheckpointValidatesMeta) {
   meta.norm_hi = {1.0};
   EXPECT_EQ(SaveCheckpoint(store, meta, "/tmp/scis_params_bad.txt").code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, V3BinaryCheckpointMapsBackBitExact) {
+  ParamStore store;
+  Rng rng(7);
+  store.Add("g.l0.W", rng.NormalMatrix(6, 3));
+  store.Add("g.l0.b", rng.NormalMatrix(1, 3));
+  store.Add("g.l1.W", rng.NormalMatrix(3, 3));
+  store.Add("g.l1.b", rng.NormalMatrix(1, 3));
+
+  CheckpointMeta meta;
+  meta.model = "GAIN";
+  meta.columns = {{"age", 0, 0}, {"blood type", 2, 4}, {"smoker", 1, 0}};
+  meta.norm_lo = {0.0, -1.5, 0.0};
+  meta.norm_hi = {120.0, 2.5, 1.0};
+  const std::string path = "/tmp/scis_params_v3.bin";
+  ASSERT_TRUE(SaveCheckpointBinary(store, meta, path).ok());
+  EXPECT_TRUE(IsBinaryCheckpoint(path));
+
+  Result<std::shared_ptr<const MappedCheckpoint>> mapped =
+      MappedCheckpoint::Map(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ((*mapped)->meta().model, "GAIN");
+  ASSERT_EQ((*mapped)->meta().columns.size(), 3u);
+  EXPECT_EQ((*mapped)->meta().columns[1].name, "blood type");
+  EXPECT_EQ((*mapped)->meta().columns[1].kind, 2);
+  EXPECT_EQ((*mapped)->meta().columns[1].num_categories, 4);
+  EXPECT_EQ((*mapped)->meta().norm_lo, meta.norm_lo);
+  EXPECT_EQ((*mapped)->meta().norm_hi, meta.norm_hi);
+  ASSERT_EQ((*mapped)->params().size(), 4u);
+  for (size_t id = 0; id < store.size(); ++id) {
+    const MappedCheckpoint::ParamView& p = (*mapped)->params()[id];
+    EXPECT_EQ(p.name, store.name(id));
+    ASSERT_EQ(p.rows, store.value(id).rows());
+    ASSERT_EQ(p.cols, store.value(id).cols());
+    // Zero-copy views are 64-byte aligned (blob layout + page-aligned map),
+    // so downstream kernels can use aligned loads.
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p.data) % 64, 0u);
+    for (size_t k = 0; k < p.rows * p.cols; ++k) {
+      EXPECT_EQ(p.data[k], store.value(id).data()[k]);  // bit-exact
+    }
+  }
+
+  // LoadCheckpoint dispatches on the magic and deep-copies.
+  Result<Checkpoint> loaded = LoadCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->version, 3);
+  ASSERT_EQ(loaded->params.size(), 4u);
+  EXPECT_TRUE(loaded->params[0].value.AllClose(store.value(0), 0.0));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, V3MapRejectsCorruptFiles) {
+  ParamStore store;
+  Rng rng(8);
+  store.Add("w", rng.NormalMatrix(2, 2));
+  CheckpointMeta meta;
+  meta.model = "GAIN";
+  meta.columns = {{"c0", 0, 0}};
+  meta.norm_lo = {0.0};
+  meta.norm_hi = {1.0};
+  const std::string path = "/tmp/scis_params_v3_corrupt.bin";
+  ASSERT_TRUE(SaveCheckpointBinary(store, meta, path).ok());
+
+  // Read the valid bytes back so we can write corrupted variants.
+  std::vector<char> bytes;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      bytes.insert(bytes.end(), buf, buf + n);
+    }
+    std::fclose(f);
+  }
+
+  // Truncated mid-header and truncated mid-blob must both fail cleanly
+  // (the last cut leaves fewer blob doubles than the 2x2 param declares).
+  for (size_t cut : {size_t{6}, bytes.size() / 2, bytes.size() - 40}) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(bytes.data(), 1, cut, f);
+    std::fclose(f);
+    EXPECT_FALSE(MappedCheckpoint::Map(path).ok()) << "cut=" << cut;
+  }
+
+  // A corrupted magic is not a binary checkpoint at all.
+  bytes[0] ^= 0xff;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(IsBinaryCheckpoint(path));
+  EXPECT_FALSE(MappedCheckpoint::Map(path).ok());
+  std::remove(path.c_str());
 }
 
 TEST(SerializeTest, TrainedGainCheckpointRestoresImputations) {

@@ -7,8 +7,10 @@
 #include <bit>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <limits>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -17,6 +19,7 @@
 #include "models/gain_imputer.h"
 #include "nn/serialize.h"
 #include "runtime/runtime.h"
+#include "runtime/thread_pool.h"
 #include "serve/batch_queue.h"
 #include "serve/client.h"
 #include "serve/engine.h"
@@ -182,6 +185,52 @@ TEST(ServeWireTest, UnknownFrameTypeRejected) {
   EXPECT_TRUE(KnownFrameType(static_cast<uint8_t>(FrameType::kPing)));
 }
 
+// Regression: the cap is inclusive — a payload of exactly kMaxFramePayload
+// is legal; only strictly larger declarations are rejected.
+TEST(ServeWireTest, ExactlyMaxPayloadAccepted) {
+  Frame f;
+  f.type = FrameType::kImputeRequest;
+  f.payload.assign(kMaxFramePayload, 0xab);
+  std::vector<uint8_t> bytes;
+  AppendFrame(f, &bytes);
+  FrameReader reader;
+  reader.Append(bytes.data(), bytes.size());
+  Result<std::optional<Frame>> next = reader.Next();
+  ASSERT_TRUE(next.ok()) << next.status().ToString();
+  ASSERT_TRUE(next.value().has_value());
+  EXPECT_EQ(next.value()->payload.size(), kMaxFramePayload);
+  EXPECT_TRUE(reader.AtEof().ok());  // fully consumed: a clean close
+}
+
+// Regression: a peer that disconnects mid-frame must surface a clean
+// truncation error (not loop, not look like a graceful close).
+TEST(ServeWireTest, AtEofDistinguishesCleanCloseFromTruncation) {
+  FrameReader reader;
+  EXPECT_TRUE(reader.AtEof().ok());  // nothing buffered: clean close
+
+  Frame f{FrameType::kImputeRequest, {1, 2, 3, 4, 5, 6, 7, 8}};
+  std::vector<uint8_t> bytes;
+  AppendFrame(f, &bytes);
+
+  // EOF inside the 5-byte header.
+  reader.Append(bytes.data(), 3);
+  EXPECT_EQ(reader.AtEof().code(), StatusCode::kIoError);
+
+  // EOF inside the payload (header complete).
+  FrameReader mid;
+  mid.Append(bytes.data(), kFrameHeaderBytes + 4);
+  ASSERT_TRUE(mid.Next().ok());  // needs more bytes, no error yet
+  const Status trunc = mid.AtEof();
+  EXPECT_EQ(trunc.code(), StatusCode::kIoError);
+  EXPECT_NE(trunc.message().find("mid-frame"), std::string::npos);
+
+  // A whole frame followed by EOF is clean again.
+  FrameReader whole;
+  whole.Append(bytes.data(), bytes.size());
+  ASSERT_TRUE(whole.Next().value().has_value());
+  EXPECT_TRUE(whole.AtEof().ok());
+}
+
 TEST(ServeWireTest, MatrixPayloadRoundTripsBitExact) {
   CHECK_PROPERTY("serve.wire.matrix_roundtrip", [](uint64_t seed) {
     Rng rng(seed);
@@ -336,6 +385,34 @@ TEST(ServeEngineTest, MatchesOfflineImputerBitExact) {
   EXPECT_TRUE(BitIdentical(offline, served.value()));
 }
 
+// A v3 binary checkpoint served zero-copy out of the mmap produces the
+// same bits as the same weights loaded through the owning text path.
+TEST(ServeEngineTest, MappedV3CheckpointServesBitIdentical) {
+  const Checkpoint ckpt = MakeCheckpoint(4, 91);
+  ParamStore store;
+  for (const NamedParam& p : ckpt.params) store.Add(p.name, p.value);
+  const std::string path = "/tmp/scis_serve_v3_engine.bin";
+  ASSERT_TRUE(SaveCheckpointBinary(store, ckpt.meta, path).ok());
+  ASSERT_TRUE(IsBinaryCheckpoint(path));
+
+  // Load() detects the binary magic and takes the mmap path.
+  Result<std::shared_ptr<const ImputationEngine>> mapped =
+      ImputationEngine::Load(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  std::shared_ptr<const ImputationEngine> owned =
+      *ImputationEngine::FromCheckpoint(ckpt);
+
+  Rng rng(15);
+  for (int it = 0; it < 8; ++it) {
+    Matrix rows = RandomRows(rng, 1 + rng.UniformIndex(6), 4, 0.4);
+    Result<Matrix> a = (*mapped)->ImputeBatch(rows);
+    Result<Matrix> b = owned->ImputeBatch(rows);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_TRUE(BitIdentical(a.value(), b.value()));
+  }
+  std::remove(path.c_str());
+}
+
 // ---------------------------------------------------------------------------
 // BatchQueue
 // ---------------------------------------------------------------------------
@@ -482,6 +559,129 @@ TEST(BatchQueueTest, RejectsWrongWidthRequests) {
   BatchQueue queue(engine, {});
   EXPECT_EQ(queue.Impute(Matrix::Zeros(1, 7)).status().code(),
             StatusCode::kInvalidArgument);
+}
+
+// Regression: deadlines are re-checked when the batch actually starts
+// executing. A batch dispatched in time can still sit in the pool queue
+// behind earlier work; its requests must fail with kDeadlineExceeded
+// instead of executing late.
+TEST(BatchQueueTest, DeadlineRecheckedWhenBatchExecutes) {
+  runtime::SetNumThreads(2);
+  runtime::ThreadPool* pool = runtime::GetPool();
+  ASSERT_NE(pool, nullptr);
+
+  // Occupy every pool worker so the dispatched batch queues behind them.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> blocked{0};
+  for (int w = 0; w < pool->num_threads(); ++w) {
+    pool->Submit([&] {
+      blocked.fetch_add(1);
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return release; });
+    });
+  }
+  while (blocked.load() < pool->num_threads()) std::this_thread::yield();
+
+  std::shared_ptr<const ImputationEngine> engine = MakeEngine(3, 53);
+  BatchQueueOptions opts;
+  opts.max_batch_rows = 1;  // flush (dispatch) immediately
+  opts.request_timeout_ms = 50;
+  BatchQueue queue(engine, opts);
+  Rng rng(11);
+  Result<Matrix> out = Status::OK();
+  std::thread client([&] { out = queue.Impute(RandomRows(rng, 1, 3, 0.5)); });
+  // Wait for dispatch (the queue empties when the batch is collected), let
+  // the deadline lapse while the batch waits behind the blockers, then
+  // release the workers.
+  while (queue.queued_rows() > 0) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+    cv.notify_all();
+  }
+  client.join();
+  EXPECT_EQ(out.status().code(), StatusCode::kDeadlineExceeded);
+  queue.Shutdown();
+  runtime::SetNumThreads(0);  // restore the env/hardware default
+}
+
+// The async path serves the same bits as the engine alone and reports
+// admission failures synchronously through the callback.
+TEST(BatchQueueTest, ImputeAsyncDeliversSameBitsAndErrors) {
+  std::shared_ptr<const ImputationEngine> engine = MakeEngine(4, 59);
+  BatchQueueOptions opts;
+  opts.max_wait_ms = 0.2;
+  BatchQueue queue(engine, opts);
+
+  Rng rng(13);
+  constexpr size_t kRequests = 8;
+  std::vector<Matrix> inputs;
+  for (size_t k = 0; k < kRequests; ++k) {
+    inputs.push_back(RandomRows(rng, 1 + rng.UniformIndex(5), 4, 0.4));
+  }
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t done = 0;
+  std::vector<Result<Matrix>> got(kRequests, Status::OK());
+  for (size_t k = 0; k < kRequests; ++k) {
+    queue.ImputeAsync(inputs[k], [&, k](Result<Matrix> r) {
+      std::lock_guard<std::mutex> lock(mu);
+      got[k] = std::move(r);
+      ++done;
+      cv.notify_all();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done == kRequests; });
+  }
+  for (size_t k = 0; k < kRequests; ++k) {
+    ASSERT_TRUE(got[k].ok()) << got[k].status().ToString();
+    EXPECT_TRUE(
+        BitIdentical(engine->ImputeBatch(inputs[k]).value(), got[k].value()));
+  }
+
+  // Admission failure: the callback fires before ImputeAsync returns.
+  bool rejected = false;
+  queue.ImputeAsync(Matrix::Zeros(1, 9), [&](Result<Matrix> r) {
+    rejected = r.status().code() == StatusCode::kInvalidArgument;
+  });
+  EXPECT_TRUE(rejected);
+}
+
+// ---------------------------------------------------------------------------
+// EngineSlot (hot-swap)
+// ---------------------------------------------------------------------------
+
+TEST(EngineSlotTest, SwapValidatesSchemaAndRetargetsNewBatches) {
+  std::shared_ptr<const ImputationEngine> a = MakeEngine(3, 61);
+  std::shared_ptr<const ImputationEngine> b = MakeEngine(3, 67);  // same d
+  auto slot = std::make_shared<EngineSlot>(a);
+  BatchQueueOptions opts;
+  opts.max_wait_ms = 0.2;
+  BatchQueue queue(slot, opts);
+
+  Rng rng(14);
+  Matrix rows = RandomRows(rng, 4, 3, 0.5);
+  Result<Matrix> before = queue.Impute(rows);
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE(BitIdentical(a->ImputeBatch(rows).value(), before.value()));
+
+  // Swap under a live queue: later batches run wholly on the new version.
+  ASSERT_TRUE(slot->Swap(b).ok());
+  Result<Matrix> after = queue.Impute(rows);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(BitIdentical(b->ImputeBatch(rows).value(), after.value()));
+  EXPECT_FALSE(BitIdentical(before.value(), after.value()));
+
+  // Schema-width mismatches and null engines leave the slot untouched.
+  EXPECT_EQ(slot->Swap(MakeEngine(5, 71)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(slot->Swap(nullptr).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(slot->Get()->num_cols(), 3u);
 }
 
 // ---------------------------------------------------------------------------
