@@ -1,0 +1,207 @@
+// sinkhorn_scale — dense vs low-rank Sinkhorn scaling sweep over n.
+//
+//   sinkhorn_scale [--quick] [--missing 0.2] [--lambda 5.0] [--plan_topk 32]
+//                  [--bench-json bench/BENCH_sinkhorn.json]
+//                  [--trace-out t.json] [--report-out r.json]
+//
+// For each n (= m) the bench solves the same Def.-2 masked OT problem with
+// the exact dense solver (rank = 0, O(n·m) per iteration, materialized cost
+// and plan) and with the low-rank factored solver (auto rank ≈ 2√n,
+// O((n+m)·r) per iteration, truncated sparse plan), both anchored to a
+// single thread so the numbers measure algorithmic work rather than core
+// count. Reported per point: wall time of each arm, the speedup, the
+// relative objective gap between the two solvers, and whether the low-rank
+// arm is bit-identical at 1/2/4 threads. --bench-json writes the
+// machine-readable sweep; the committed baseline is bench/BENCH_sinkhorn.json
+// (full mode, see EXPERIMENTS.md — the gap-vs-rank methodology and the
+// oracle certificate behind the 1e-2 budget live there and in the
+// SinkhornLowRank test suite).
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/stopwatch.h"
+#include "ot/sinkhorn.h"
+#include "tensor/rng.h"
+
+using namespace scis;
+
+namespace {
+
+struct SweepPoint {
+  size_t n = 0;
+  int rank = 0;
+  double dense_sec = 0.0;
+  double lowrank_sec = 0.0;
+  double speedup = 0.0;
+  double dense_obj = 0.0;
+  double lowrank_obj = 0.0;
+  double rel_gap = 0.0;
+  bool bit_identical = false;
+};
+
+bool SameLowRankSolution(const SinkhornSolution& x, const SinkhornSolution& y) {
+  if (x.iters != y.iters || x.reg_value != y.reg_value ||
+      x.transport_cost != y.transport_cost ||
+      x.sparse_plan.nnz() != y.sparse_plan.nnz()) {
+    return false;
+  }
+  for (size_t i = 0; i < x.f.size(); ++i)
+    if (x.f[i] != y.f[i]) return false;
+  for (size_t j = 0; j < x.g.size(); ++j)
+    if (x.g[j] != y.g[j]) return false;
+  for (size_t t = 0; t < x.sparse_plan.nnz(); ++t) {
+    if (x.sparse_plan.col_idx()[t] != y.sparse_plan.col_idx()[t] ||
+        x.sparse_plan.values()[t] != y.sparse_plan.values()[t]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+SweepPoint RunPoint(size_t n, size_t d, double missing, double lambda,
+                    int plan_topk, uint64_t seed) {
+  Rng rng(seed);
+  const Matrix a = rng.UniformMatrix(n, d, 0.0, 1.0);
+  const Matrix b = rng.UniformMatrix(n, d, 0.0, 1.0);
+  const Matrix ma = rng.BernoulliMatrix(n, d, 1.0 - missing);
+  const Matrix mb = rng.BernoulliMatrix(n, d, 1.0 - missing);
+
+  SinkhornOptions opts;
+  opts.lambda = lambda;
+  opts.max_iters = 200;
+  opts.tol = 1e-6;  // shared by both arms: same convergence target
+  opts.plan_topk = plan_topk;
+
+  SweepPoint pt;
+  pt.n = n;
+
+  // Dense exact arm, single thread.
+  runtime::SetNumThreads(1);
+  opts.rank = 0;
+  {
+    Stopwatch watch;
+    const SinkhornSolution dense = SolveSinkhornMasked(a, ma, b, mb, opts);
+    pt.dense_sec = watch.ElapsedSeconds();
+    pt.dense_obj = dense.reg_value;
+  }
+
+  // Low-rank arm: auto rank with the size threshold disabled so every sweep
+  // point exercises the factored path (below 4096 rows production would
+  // stay dense).
+  opts.rank = SinkhornOptions::kAutoRank;
+  opts.lowrank_min_rows = 1;
+  SinkhornSolution lr;
+  {
+    Stopwatch watch;
+    lr = SolveSinkhornMasked(a, ma, b, mb, opts);
+    pt.lowrank_sec = watch.ElapsedSeconds();
+  }
+  pt.rank = lr.rank_used;
+  pt.lowrank_obj = lr.reg_value;
+  pt.speedup = pt.lowrank_sec > 0.0 ? pt.dense_sec / pt.lowrank_sec : 0.0;
+  pt.rel_gap = std::abs(lr.reg_value - pt.dense_obj) /
+               (1.0 + std::abs(pt.dense_obj));
+
+  // Determinism arm: the factored solve must be bit-identical at any
+  // thread count (untimed).
+  pt.bit_identical = true;
+  for (const int threads : {2, 4}) {
+    runtime::SetNumThreads(threads);
+    const SinkhornSolution again = SolveSinkhornMasked(a, ma, b, mb, opts);
+    pt.bit_identical = pt.bit_identical && SameLowRankSolution(lr, again);
+  }
+  runtime::SetNumThreads(0);
+  return pt;
+}
+
+int WriteBenchJson(const std::string& path, const std::vector<SweepPoint>& pts,
+                   bool quick, size_t d, double missing, double lambda,
+                   int plan_topk) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::printf("bench-json: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"schema\": \"scis-bench-sinkhorn-v1\",\n");
+  std::fprintf(out, "  \"mode\": \"%s\",\n", quick ? "quick" : "full");
+  std::fprintf(out, "  \"dims\": %zu,\n", d);
+  std::fprintf(out, "  \"missing_rate\": %.3f,\n", missing);
+  std::fprintf(out, "  \"lambda\": %.3f,\n", lambda);
+  std::fprintf(out, "  \"plan_topk\": %d,\n", plan_topk);
+  std::fprintf(out, "  \"sweep\": [\n");
+  for (size_t i = 0; i < pts.size(); ++i) {
+    const SweepPoint& p = pts[i];
+    std::fprintf(out,
+                 "    {\"n\": %zu, \"rank\": %d, "
+                 "\"dense_seconds\": %.4f, \"lowrank_seconds\": %.4f, "
+                 "\"speedup_single_thread\": %.2f, "
+                 "\"dense_objective\": %.6f, \"lowrank_objective\": %.6f, "
+                 "\"rel_gap\": %.6f, "
+                 "\"bit_identical_1_2_4_threads\": %s}%s\n",
+                 p.n, p.rank, p.dense_sec, p.lowrank_sec, p.speedup,
+                 p.dense_obj, p.lowrank_obj, p.rel_gap,
+                 p.bit_identical ? "true" : "false",
+                 i + 1 < pts.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("bench json written to %s (%zu points, mode=%s)\n", path.c_str(),
+              pts.size(), quick ? "quick" : "full");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long plan_topk = 32, threads = 0;
+  double missing = 0.2, lambda = 5.0;
+  bool quick = false;
+  std::string bench_json;
+  FlagParser flags;
+  flags.AddDouble("missing", &missing, "MCAR missing rate of the bench data");
+  flags.AddDouble("lambda", &lambda, "entropic regularization weight");
+  flags.AddInt("plan_topk", &plan_topk, "sparse-plan support per row");
+  flags.AddBool("quick", &quick, "small sweep for CI smoke runs");
+  flags.AddString("bench-json", &bench_json,
+                  "write the machine-readable sweep to this path");
+  bench::AddThreadsFlag(flags, &threads);
+  bench::ObsSession obs("sinkhorn_scale");
+  obs.AddFlags(flags);
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::printf("%s\n", st.ToString().c_str());
+    return st.code() == StatusCode::kOutOfRange ? 0 : 1;
+  }
+  bench::ApplyThreadsFlag(threads);
+  obs.Start();
+  obs.report().AddConfig("missing", missing);
+  obs.report().AddConfig("lambda", lambda);
+  obs.report().AddConfig("plan_topk", static_cast<int64_t>(plan_topk));
+
+  const size_t d = 8;
+  const std::vector<size_t> sweep =
+      quick ? std::vector<size_t>{1000, 2000}
+            : std::vector<size_t>{2000, 5000, 10000, 20000};
+  std::vector<SweepPoint> points;
+  std::printf("%8s %5s %10s %11s %8s %12s %12s %10s %6s\n", "n", "rank",
+              "dense_s", "lowrank_s", "speedup", "dense_obj", "lowrank_obj",
+              "rel_gap", "ident");
+  for (const size_t n : sweep) {
+    const SweepPoint pt =
+        RunPoint(n, d, missing, lambda, static_cast<int>(plan_topk),
+                 /*seed=*/1789 + n);
+    std::printf("%8zu %5d %10.3f %11.3f %7.2fx %12.4f %12.4f %10.6f %6s\n",
+                pt.n, pt.rank, pt.dense_sec, pt.lowrank_sec, pt.speedup,
+                pt.dense_obj, pt.lowrank_obj, pt.rel_gap,
+                pt.bit_identical ? "yes" : "NO");
+    points.push_back(pt);
+  }
+
+  int rc = 0;
+  if (!bench_json.empty()) {
+    rc = WriteBenchJson(bench_json, points, quick, d, missing, lambda,
+                        static_cast<int>(plan_topk));
+  }
+  return obs.Finish() || rc;
+}

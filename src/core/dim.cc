@@ -65,6 +65,7 @@ Status DimTrainer::Train(GenerativeImputer& model, const Dataset& data) {
   sopts.lambda = opts_.lambda;
   sopts.max_iters = opts_.sinkhorn_iters;
   sopts.tol = 1e-7;
+  sopts.rank = opts_.sinkhorn_rank;
 
   ParamStore& gen_store = model.generator_params();
   MiniBatcher batcher(data.num_rows(), opts_.batch_size, rng_);
@@ -148,6 +149,7 @@ double DimTrainer::EvalLoss(GenerativeImputer& model, const Matrix& x,
   sopts.lambda = opts_.lambda;
   sopts.max_iters = opts_.sinkhorn_iters;
   sopts.tol = 1e-7;
+  sopts.rank = opts_.sinkhorn_rank;
   Tape tape;
   Var xbar = model.ReconstructOnTape(tape, x, m, /*train=*/false);
   Var loss = MsLoss(xbar, x, m, sopts);

@@ -1,0 +1,143 @@
+#include "index/kmeanspp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+#include "kernels/elementwise.h"
+#include "runtime/parallel_for.h"
+#include "tensor/rng.h"
+
+namespace scis::index {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Squared Euclidean distance between a point row and a centroid row,
+// through the fixed-lane kernels so the association is shape-derived.
+double RowDist(const double* p, const double* c, size_t d) {
+  double acc[kernels::kLanes] = {};
+  size_t j = 0;
+  for (; j + kernels::kLanes <= d; j += kernels::kLanes) {
+    for (size_t l = 0; l < kernels::kLanes; ++l) {
+      const double diff = p[j + l] - c[j + l];
+      acc[l] += diff * diff;
+    }
+  }
+  for (size_t l = 0; j < d; ++j, ++l) {
+    const double diff = p[j] - c[j];
+    acc[l] += diff * diff;
+  }
+  return ((acc[0] + acc[1]) + (acc[2] + acc[3])) +
+         ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+}
+
+}  // namespace
+
+uint64_t MixSeed(uint64_t s, uint64_t salt) {
+  uint64_t z = s + 0x9E3779B97F4A7C15ULL * (salt + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Matrix KMeansLandmarks(const Matrix& points, size_t k, uint64_t seed,
+                       int lloyd_iters) {
+  const size_t n = points.rows(), d = points.cols();
+  SCIS_CHECK_GT(n, 0u);
+  const size_t K = std::min(std::max<size_t>(1, k), n);
+  const size_t grain = runtime::GrainForWork(n, K * d);
+  Rng rng(seed);
+  Matrix centroids(K, d);
+
+  // k-means++: first centroid uniform, then proportional to the squared
+  // distance to the nearest chosen centroid (the same sequential-scan pick
+  // as the tree build, so a seed reproduces the draw exactly).
+  std::copy_n(points.row_data(rng.UniformIndex(n)), d, centroids.row_data(0));
+  std::vector<double> best(n, kInf);
+  for (size_t t = 1; t < K; ++t) {
+    const double* last = centroids.row_data(t - 1);
+    runtime::ParallelFor(0, n, grain, [&](size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) {
+        const double dist = RowDist(points.row_data(i), last, d);
+        if (dist < best[i]) best[i] = dist;
+      }
+    });
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) total += best[i];
+    size_t pick;
+    if (total > 0.0) {
+      const double r = rng.Uniform() * total;
+      double acc = 0.0;
+      pick = n - 1;
+      for (size_t i = 0; i < n; ++i) {
+        acc += best[i];
+        if (acc >= r) {
+          pick = i;
+          break;
+        }
+      }
+    } else {
+      // All points coincide with a chosen centroid (duplicate-row data):
+      // any pick yields the same centroid value.
+      pick = rng.UniformIndex(n);
+    }
+    std::copy_n(points.row_data(pick), d, centroids.row_data(t));
+  }
+
+  // Lloyd: parallel assignment, ordered-reduce centroid update (sums
+  // combined in ascending chunk order — bit-identical at any thread count).
+  struct Accum {
+    std::vector<double> sum;      // K x d
+    std::vector<size_t> members;  // rows per cluster
+  };
+  std::vector<uint32_t> assign(n, 0);
+  for (int it = 0; it < lloyd_iters; ++it) {
+    runtime::ParallelFor(0, n, grain, [&](size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) {
+        const double* p = points.row_data(i);
+        double best_dist = kInf;
+        uint32_t best_c = 0;
+        for (size_t c = 0; c < K; ++c) {
+          const double dist = RowDist(p, centroids.row_data(c), d);
+          if (dist < best_dist) {
+            best_dist = dist;
+            best_c = static_cast<uint32_t>(c);
+          }
+        }
+        assign[i] = best_c;
+      }
+    });
+    Accum acc = runtime::ParallelReduce<Accum>(
+        0, n, grain, Accum{},
+        [&](size_t b, size_t e) {
+          Accum a;
+          a.sum.assign(K * d, 0.0);
+          a.members.assign(K, 0);
+          for (size_t i = b; i < e; ++i) {
+            kernels::Axpy(1.0, points.row_data(i),
+                          a.sum.data() + assign[i] * d, d);
+            ++a.members[assign[i]];
+          }
+          return a;
+        },
+        [&](Accum lhs, Accum rhs) {
+          if (lhs.sum.empty()) return rhs;
+          for (size_t j = 0; j < K * d; ++j) lhs.sum[j] += rhs.sum[j];
+          for (size_t c = 0; c < K; ++c) lhs.members[c] += rhs.members[c];
+          return lhs;
+        });
+    for (size_t c = 0; c < K; ++c) {
+      if (acc.members[c] == 0) continue;  // empty cluster keeps its seed
+      const double inv = 1.0 / static_cast<double>(acc.members[c]);
+      double* row = centroids.row_data(c);
+      for (size_t j = 0; j < d; ++j) row[j] = acc.sum[c * d + j] * inv;
+    }
+  }
+  return centroids;
+}
+
+}  // namespace scis::index

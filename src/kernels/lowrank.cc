@@ -1,0 +1,111 @@
+#include "kernels/lowrank.h"
+
+#include "kernels/dispatch.h"
+
+#include <cmath>
+#include <limits>
+
+#include "kernels/arena.h"
+#include "kernels/elementwise.h"
+#include "kernels/exp.h"
+#include "kernels/lane_reduce.h"
+
+namespace scis::kernels {
+
+using internal::LaneMax;
+using internal::LaneSum;
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// Row LSE of feat_scale·row + shift: pass 1 stores the shifted terms in
+// scratch tracking a lane max, pass 2 exp-accumulates out of L1 — the same
+// two-pass structure as the dense SinkhornDualUpdateRows.
+inline double RowLse(const double* __restrict frow, double feat_scale,
+                     const double* __restrict shift, size_t cols,
+                     double* __restrict z) {
+  double mx[kLanes];
+  for (size_t l = 0; l < kLanes; ++l) mx[l] = kNegInf;
+  size_t j = 0;
+  for (; j + kLanes <= cols; j += kLanes) {
+    for (size_t l = 0; l < kLanes; ++l) {
+      const double v = feat_scale * frow[j + l] + shift[j + l];
+      z[j + l] = v;
+      mx[l] = mx[l] > v ? mx[l] : v;
+    }
+  }
+  for (size_t l = 0; j < cols; ++j, ++l) {
+    const double v = feat_scale * frow[j] + shift[j];
+    z[j] = v;
+    mx[l] = mx[l] > v ? mx[l] : v;
+  }
+  const double m = LaneMax(mx);
+  if (!std::isfinite(m)) return m;
+  double acc[kLanes] = {};
+  j = 0;
+  for (; j + kLanes <= cols; j += kLanes) {
+    for (size_t l = 0; l < kLanes; ++l) acc[l] += ExpD(z[j + l] - m);
+  }
+  for (size_t l = 0; j < cols; ++j, ++l) acc[l] += ExpD(z[j] - m);
+  return m + std::log(LaneSum(acc));
+}
+
+}  // namespace
+
+SCIS_KERNEL_CLONES
+void LowRankLseRows(const double* __restrict feat, double feat_scale,
+                    const double* __restrict shift, size_t r0, size_t r1,
+                    size_t cols, double* __restrict out) {
+  ScopedScratch scratch(cols);
+  double* __restrict z = scratch.data();
+  for (size_t i = r0; i < r1; ++i) {
+    out[i] = RowLse(feat + i * cols, feat_scale, shift, cols, z);
+  }
+}
+
+SCIS_KERNEL_CLONES
+double LowRankDualUpdateRows(const double* __restrict feat, double feat_scale,
+                             const double* __restrict shift, double lam,
+                             size_t r0, size_t r1, size_t cols,
+                             double* __restrict pot) {
+  ScopedScratch scratch(cols);
+  double* __restrict z = scratch.data();
+  double dmax = 0.0;
+  for (size_t i = r0; i < r1; ++i) {
+    const double lse = RowLse(feat + i * cols, feat_scale, shift, cols, z);
+    const double fnew = -lam * lse;
+    const double d = std::abs(fnew - pot[i]);
+    dmax = dmax > d ? dmax : d;
+    pot[i] = fnew;
+  }
+  return dmax;
+}
+
+SCIS_KERNEL_CLONES
+double LowRankLogKernel(const double* __restrict eu,
+                        const double* __restrict ev, size_t r) {
+  double mx[kLanes];
+  for (size_t l = 0; l < kLanes; ++l) mx[l] = kNegInf;
+  size_t j = 0;
+  for (; j + kLanes <= r; j += kLanes) {
+    for (size_t l = 0; l < kLanes; ++l) {
+      const double v = eu[j + l] + ev[j + l];
+      mx[l] = mx[l] > v ? mx[l] : v;
+    }
+  }
+  for (size_t l = 0; j < r; ++j, ++l) {
+    const double v = eu[j] + ev[j];
+    mx[l] = mx[l] > v ? mx[l] : v;
+  }
+  const double m = LaneMax(mx);
+  if (!std::isfinite(m)) return m;
+  double acc[kLanes] = {};
+  j = 0;
+  for (; j + kLanes <= r; j += kLanes) {
+    for (size_t l = 0; l < kLanes; ++l) acc[l] += ExpD(eu[j + l] + ev[j + l] - m);
+  }
+  for (size_t l = 0; j < r; ++j, ++l) acc[l] += ExpD(eu[j] + ev[j] - m);
+  return m + std::log(LaneSum(acc));
+}
+
+}  // namespace scis::kernels

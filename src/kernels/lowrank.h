@@ -1,0 +1,44 @@
+// Fused kernels for the low-rank (factored-Gibbs) Sinkhorn path.
+//
+// The low-rank solver never materializes the n×m kernel: it stores positive
+// log-domain landmark features E_u (n×r) and E_v (m×r) with
+// log K̃_ij = LSE_l(E_u(i,l) + E_v(j,l)), and each dual half-update reduces
+// over the r factor columns instead of the m cost columns:
+//
+//   s_l    = LSE_i( κ·E_u(i,l) + sf_i )            (factor contraction)
+//   g_j    = −λ · LSE_l( κ·E_v(j,l) + s_l )        (potential update)
+//
+// where κ rescales features built at the final λ to a ladder rung (κ = 1 at
+// the final solve). Both shapes are the same row-LSE primitive, so one
+// kernel serves the contraction (over the transposed factor) and the
+// update; LowRankDualUpdateRows additionally tracks the convergence delta
+// like its dense sibling in kernels/lse.h.
+//
+// Determinism mirrors lse.h: two passes per row over contiguous data with
+// fixed-lane max/accumulate, per-thread scratch, every exp through ExpD —
+// bit-identical at any thread count under shape-derived chunking.
+#ifndef SCIS_KERNELS_LOWRANK_H_
+#define SCIS_KERNELS_LOWRANK_H_
+
+#include <cstddef>
+
+namespace scis::kernels {
+
+// out[i] = LSE_j( feat_scale·feat(i,j) + shift[j] ) for rows [r0, r1) of the
+// row-major `feat` with `cols` columns.
+void LowRankLseRows(const double* feat, double feat_scale, const double* shift,
+                    size_t r0, size_t r1, size_t cols, double* out);
+
+// pot[i] = −lam · LSE_j( feat_scale·feat(i,j) + shift[j] ) over rows
+// [r0, r1); returns max_i |pot_new − pot_old| (the convergence delta).
+double LowRankDualUpdateRows(const double* feat, double feat_scale,
+                             const double* shift, double lam, size_t r0,
+                             size_t r1, size_t cols, double* pot);
+
+// One factored kernel entry in the log domain: LSE_l(eu[l] + ev[l]).
+// Used for sparse-plan values and the effective-cost oracle hook.
+double LowRankLogKernel(const double* eu, const double* ev, size_t r);
+
+}  // namespace scis::kernels
+
+#endif  // SCIS_KERNELS_LOWRANK_H_

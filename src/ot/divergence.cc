@@ -6,6 +6,25 @@
 
 namespace scis {
 
+namespace {
+
+// Envelope gradients against whichever plan representation the solve
+// produced: the dense n×m plan on the exact path, the truncated CSR plan on
+// the low-rank path. Same math either way (Prop. 1 only needs <P, ∂C>).
+Matrix GradWrtA(const SinkhornSolution& sol, const Matrix& a, const Matrix& ma,
+                const Matrix& b, const Matrix& mb) {
+  if (sol.low_rank) return MaskedOtGradWrtA(sol.sparse_plan, a, ma, b, mb);
+  return MaskedOtGradWrtA(sol.plan, a, ma, b, mb);
+}
+
+Matrix GradWrtB(const SinkhornSolution& sol, const Matrix& a, const Matrix& ma,
+                const Matrix& b, const Matrix& mb) {
+  if (sol.low_rank) return MaskedOtGradWrtB(sol.sparse_plan, a, ma, b, mb);
+  return MaskedOtGradWrtB(sol.plan, a, ma, b, mb);
+}
+
+}  // namespace
+
 DivergenceResult MsDivergenceMasked(const Matrix& a, const Matrix& ma,
                                     const Matrix& b, const Matrix& mb,
                                     const SinkhornOptions& opts,
@@ -14,24 +33,23 @@ DivergenceResult MsDivergenceMasked(const Matrix& a, const Matrix& ma,
   SCIS_CHECK(b.SameShape(mb));
   SCIS_CHECK_EQ(a.cols(), b.cols());
 
-  const Matrix cost_ab = MaskedCostMatrix(a, ma, b, mb);
-  const Matrix cost_aa = MaskedCostMatrix(a, ma, a, ma);
-  const Matrix cost_bb = MaskedCostMatrix(b, mb, b, mb);
-
-  const SinkhornSolution ab = SolveSinkhorn(cost_ab, opts);
-  const SinkhornSolution aa = SolveSinkhorn(cost_aa, opts);
-  const SinkhornSolution bb = SolveSinkhorn(cost_bb, opts);
+  // Each solve routes through the masked entry point: dense exact at
+  // rank 0 (bit-identical to the historic cost-then-solve sequence — the
+  // three solves share no state), sub-quadratic factored solves otherwise.
+  const SinkhornSolution ab = SolveSinkhornMasked(a, ma, b, mb, opts);
+  const SinkhornSolution aa = SolveSinkhornMasked(a, ma, a, ma, opts);
+  const SinkhornSolution bb = SolveSinkhornMasked(b, mb, b, mb, opts);
 
   DivergenceResult out;
   out.value = 2.0 * ab.reg_value - aa.reg_value - bb.reg_value;
 
   if (with_grad) {
     // Cross term: X̄ appears only as the source measure.
-    Matrix g = MaskedOtGradWrtA(ab.plan, a, ma, b, mb);
+    Matrix g = GradWrtA(ab, a, ma, b, mb);
     MulScalarInPlace(g, 2.0);
     // Self term: X̄ is both source and target; subtract both envelope parts.
-    Matrix gs = MaskedOtGradWrtA(aa.plan, a, ma, a, ma);
-    AddInPlace(gs, MaskedOtGradWrtB(aa.plan, a, ma, a, ma));
+    Matrix gs = GradWrtA(aa, a, ma, a, ma);
+    AddInPlace(gs, GradWrtB(aa, a, ma, a, ma));
     SubInPlace(g, gs);
     out.grad_xbar = std::move(g);
   }
@@ -49,17 +67,15 @@ DivergenceResult MsDivergenceForTraining(const Matrix& xbar, const Matrix& x,
                                          const SinkhornOptions& opts) {
   SCIS_CHECK(xbar.SameShape(x));
   SCIS_CHECK(xbar.SameShape(m));
-  const Matrix cost_ab = MaskedCostMatrix(xbar, m, x, m);
-  const Matrix cost_aa = MaskedCostMatrix(xbar, m, xbar, m);
-  const SinkhornSolution ab = SolveSinkhorn(cost_ab, opts);
-  const SinkhornSolution aa = SolveSinkhorn(cost_aa, opts);
+  const SinkhornSolution ab = SolveSinkhornMasked(xbar, m, x, m, opts);
+  const SinkhornSolution aa = SolveSinkhornMasked(xbar, m, xbar, m, opts);
 
   DivergenceResult out;
   out.value = 2.0 * ab.reg_value - aa.reg_value;
-  Matrix g = MaskedOtGradWrtA(ab.plan, xbar, m, x, m);
+  Matrix g = GradWrtA(ab, xbar, m, x, m);
   MulScalarInPlace(g, 2.0);
-  Matrix gs = MaskedOtGradWrtA(aa.plan, xbar, m, xbar, m);
-  AddInPlace(gs, MaskedOtGradWrtB(aa.plan, xbar, m, xbar, m));
+  Matrix gs = GradWrtA(aa, xbar, m, xbar, m);
+  AddInPlace(gs, GradWrtB(aa, xbar, m, xbar, m));
   SubInPlace(g, gs);
   out.grad_xbar = std::move(g);
   return out;

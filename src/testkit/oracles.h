@@ -55,6 +55,20 @@ OtOracle SolveEntropicOtOracle(const Matrix& cost, double lambda,
 double OracleMsDivergence(const Matrix& xbar, const Matrix& x, const Matrix& m,
                           double lambda);
 
+// Rigorous a-priori bound on the entropic-OT objective gap between an exact
+// cost C and an approximation C̃ (e.g. the low-rank effective cost):
+//
+//   |OT_λ(C̃) − OT_λ(C)| ≤ min_c ( ‖C̃ − C − c·11ᵀ‖∞ + |c| )
+//
+// Proof sketch: OT_λ is 1-Lipschitz in the sup norm (the optimal plans have
+// total mass 1, so swapping costs moves the objective by at most the
+// entrywise gap in either direction), and OT_λ(C + c·11ᵀ) = OT_λ(C) + c
+// with an unchanged plan. The minimization over the shift c makes the bound
+// invariant to the calibration constant the low-rank builder folds in; it
+// is evaluated in closed form at c* = (min D + max D)/2 of D = C̃ − C when
+// that beats c = 0 / c = min D / c = max D. O(n·m).
+double EntropicOtGapBound(const Matrix& exact_cost, const Matrix& approx_cost);
+
 // Central-difference gradient of the full DIM evaluation loss
 // (DimTrainer::EvalLoss: MS divergence through the generator) with respect
 // to the flattened generator parameters. O(P) loss evaluations — tiny

@@ -13,6 +13,7 @@
 
 #include "autodiff/grad_check.h"
 #include "autodiff/tape.h"
+#include "ot/sinkhorn.h"
 #include "tensor/rng.h"
 #include "testkit/property.h"
 
@@ -85,6 +86,98 @@ inline testkit::PropertyStatus AutodiffChainProperty(uint64_t seed) {
   }
   const double err = MaxGradError(f, x0, analytic, 1e-5);
   PROP_CHECK_LE(err / scale, 5e-5);
+  return testkit::PropertyStatus::Pass();
+}
+
+// Edge-case Sinkhorn scenarios derived from the seed (seed % 5 picks the
+// scenario): degenerate shapes (1×m and n×1 costs), extreme λ with
+// ε-scaling on, duplicate rows (a rank-deficient Gibbs kernel), and fully
+// identical samples (every k-means++ landmark coincides). Each trial runs
+// the dense exact path and the forced low-rank path on the same inputs and
+// checks structural invariants: finite potentials/objectives, nonnegative
+// finite truncated-plan entries, and exact row marginals after the
+// balancing sweeps. Seeds that ever exposed a bug belong in
+// tests/corpus/sinkhorn_edge_seeds.txt.
+inline testkit::PropertyStatus SinkhornEdgeCaseProperty(uint64_t seed) {
+  Rng rng(seed * 131 + 17);
+  const int scenario = static_cast<int>(seed % 5);
+  size_t n = 2 + rng.UniformIndex(6);
+  size_t m = 2 + rng.UniformIndex(6);
+  const size_t d = 1 + rng.UniformIndex(4);
+  double lambda = 0.5 + rng.Uniform(0.0, 5.0);
+  bool eps_scaling = (seed % 3 == 0);
+  switch (scenario) {
+    case 0:
+      n = 1;
+      break;
+    case 1:
+      m = 1;
+      break;
+    case 2:
+      lambda = (seed % 2 == 0) ? 1e-3 : 1e5;
+      eps_scaling = true;
+      break;
+    default:
+      break;
+  }
+  Matrix a = rng.UniformMatrix(n, d, 0.0, 1.0);
+  Matrix b = rng.UniformMatrix(m, d, 0.0, 1.0);
+  if (scenario == 3) {
+    // Every row a copy of row 0 or row 1: duplicate samples make the
+    // sample Gibbs kernel rank-deficient.
+    for (size_t i = 2; i < n; ++i)
+      for (size_t k = 0; k < d; ++k) a(i, k) = a(i % 2, k);
+    for (size_t j = 2; j < m; ++j)
+      for (size_t k = 0; k < d; ++k) b(j, k) = b(j % 2, k);
+  } else if (scenario == 4) {
+    // All rows identical on both sides: the landmark pool collapses to a
+    // single point, so every landmark is the same.
+    for (size_t i = 1; i < n; ++i)
+      for (size_t k = 0; k < d; ++k) a(i, k) = a(0, k);
+    for (size_t j = 0; j < m; ++j)
+      for (size_t k = 0; k < d; ++k) b(j, k) = a(0, k);
+  }
+  const Matrix ma = rng.BernoulliMatrix(n, d, 0.8);
+  const Matrix mb = rng.BernoulliMatrix(m, d, 0.8);
+
+  SinkhornOptions dense_opts;
+  dense_opts.lambda = lambda;
+  dense_opts.max_iters = 300;
+  dense_opts.tol = 1e-9;
+  dense_opts.epsilon_scaling = eps_scaling;
+  dense_opts.rank = 0;
+  const SinkhornSolution dense = SolveSinkhornMasked(a, ma, b, mb, dense_opts);
+  PROP_CHECK(!dense.low_rank);
+  PROP_CHECK(std::isfinite(dense.reg_value));
+  PROP_CHECK(std::isfinite(dense.transport_cost));
+
+  SinkhornOptions lr_opts = dense_opts;
+  lr_opts.rank = 1 + static_cast<int>(rng.UniformIndex(4));
+  lr_opts.plan_topk = 1 + static_cast<int>(rng.UniformIndex(4));
+  const SinkhornSolution lr = SolveSinkhornMasked(a, ma, b, mb, lr_opts);
+  PROP_CHECK(lr.low_rank);
+  PROP_CHECK(lr.rank_used > 0);
+  PROP_CHECK(std::isfinite(lr.reg_value));
+  PROP_CHECK(std::isfinite(lr.transport_cost));
+  for (const double fv : lr.f) PROP_CHECK(std::isfinite(fv));
+  for (const double gv : lr.g) PROP_CHECK(std::isfinite(gv));
+
+  const std::vector<size_t>& rp = lr.sparse_plan.row_ptr();
+  const std::vector<double>& vals = lr.sparse_plan.values();
+  PROP_CHECK(lr.sparse_plan.rows() == n && lr.sparse_plan.cols() == m);
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    double rs = 0.0;
+    for (size_t t = rp[i]; t < rp[i + 1]; ++t) {
+      PROP_CHECK(std::isfinite(vals[t]));
+      PROP_CHECK(vals[t] >= 0.0);
+      rs += vals[t];
+    }
+    // A row whose support underflowed to zero mass stays zero; any other
+    // row is renormalized to its marginal exactly.
+    PROP_CHECK_MSG(rs == 0.0 || std::abs(rs - inv_n) <= 1e-9 * (1.0 + inv_n),
+                   "row sum " << rs << " vs " << inv_n);
+  }
   return testkit::PropertyStatus::Pass();
 }
 

@@ -1,0 +1,355 @@
+// Correctness suite for the sub-quadratic Sinkhorn path: the low-rank
+// Gibbs-kernel factorization (ot/lowrank_cost.h), the factored solver and
+// truncated sparse plan behind SolveSinkhornMasked, and the marginal
+// validation on SolveSinkhornWeighted.
+//
+// The central property is oracle-certified: the brute-force entropic OT
+// oracle bounds the low-rank objective gap via the sup-norm certificate
+// |OT_λ(C̃) − OT_λ(C)| ≤ min_c(‖C̃ − C − c‖∞ + |c|) (testkit
+// EntropicOtGapBound), checked over random masked datasets with shrinking
+// and seed replay (SCIS_TESTKIT_SEED=<seed>).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/status.h"
+#include "ot/divergence.h"
+#include "ot/lowrank_cost.h"
+#include "ot/masked_cost.h"
+#include "ot/sinkhorn.h"
+#include "runtime/runtime.h"
+#include "tensor/matrix_ops.h"
+#include "tensor/rng.h"
+#include "testkit/generators.h"
+#include "testkit/gtest_glue.h"
+#include "testkit/oracles.h"
+#include "fuzz_common.h"
+
+namespace scis {
+namespace {
+
+using testkit::PropertyStatus;
+
+SinkhornOptions LowRankOpts(double lambda, int rank, int topk = 32) {
+  SinkhornOptions opts;
+  opts.lambda = lambda;
+  opts.max_iters = 5000;
+  opts.tol = 1e-12;
+  opts.rank = rank;
+  opts.plan_topk = topk;
+  return opts;
+}
+
+// The factor the solver builds internally, reconstructed from the same
+// (deterministic) options so tests can materialize the effective cost C̃.
+LowRankGibbsFactor FactorFor(const Matrix& a, const Matrix& ma,
+                             const Matrix& b, const Matrix& mb,
+                             const SinkhornOptions& opts, int rank) {
+  LowRankCostOptions lr;
+  lr.rank = rank;
+  lr.seed = opts.lowrank_seed;
+  return BuildLowRankGibbsFactor(a, ma, b, mb, opts.lambda, lr);
+}
+
+// --- satellite 1: testkit oracle bounds the low-rank objective gap -------
+
+TEST(SinkhornLowRankTest, OracleBoundsObjectiveGapOverMaskedDatasets) {
+  testkit::DatasetGen gen;
+  gen.min_rows = 4;
+  gen.max_rows = 20;
+  gen.max_cols = 6;
+  gen.max_missing = 0.5;
+  CHECK_DATASET_PROPERTY(
+      "sinkhorn_lowrank_gap",
+      [gen](Rng& rng) { return testkit::GenDataset(rng, gen); },
+      [](const Dataset& ds) -> PropertyStatus {
+        // Split the dataset rows into source and target measures.
+        const size_t n_total = ds.num_rows();
+        std::vector<size_t> lo, hi;
+        for (size_t i = 0; i < n_total; ++i) {
+          (i < (n_total + 1) / 2 ? lo : hi).push_back(i);
+        }
+        if (hi.empty()) hi = lo;
+        const Matrix a = ds.values().GatherRows(lo);
+        const Matrix ma = ds.mask().GatherRows(lo);
+        const Matrix b = ds.values().GatherRows(hi);
+        const Matrix mb = ds.mask().GatherRows(hi);
+
+        for (const double lambda : {2.0, 30.0}) {
+          const SinkhornOptions opts = LowRankOpts(lambda, /*rank=*/8);
+          const LowRankGibbsFactor factor =
+              FactorFor(a, ma, b, mb, opts, opts.rank);
+          const Matrix exact_cost = testkit::NaiveMaskedCost(a, ma, b, mb);
+          const Matrix approx_cost = LowRankEffectiveCostMatrix(factor);
+          const double bound =
+              testkit::EntropicOtGapBound(exact_cost, approx_cost);
+          PROP_CHECK(std::isfinite(bound));
+
+          const testkit::OtOracle exact =
+              testkit::SolveEntropicOtOracle(exact_cost, lambda);
+          const testkit::OtOracle approx =
+              testkit::SolveEntropicOtOracle(approx_cost, lambda);
+          PROP_CHECK_MSG(exact.converged && approx.converged,
+                         "oracle did not converge");
+          // The certificate itself, on the two oracle solves.
+          const double slack = 1e-6 * (1.0 + std::abs(exact.reg_value));
+          PROP_CHECK_LE(std::abs(approx.reg_value - exact.reg_value),
+                        bound + slack);
+
+          // The production factored solver optimizes exactly C̃: its dual
+          // objective must match the oracle primal on C̃ ...
+          const SinkhornSolution lr = SolveSinkhornMasked(a, ma, b, mb, opts);
+          PROP_CHECK(lr.low_rank);
+          PROP_CHECK_NEAR(lr.reg_value, approx.reg_value,
+                          1e-6 * (1.0 + std::abs(approx.reg_value)));
+          // ... and therefore sit within the certificate of the true value.
+          PROP_CHECK_LE(std::abs(lr.reg_value - exact.reg_value),
+                        bound + 2.0 * slack);
+        }
+        return PropertyStatus::Pass();
+      });
+}
+
+TEST(SinkhornLowRankTest, GapBoundShiftInvariance) {
+  // The bound must not charge for a constant cost offset: OT_λ(C + c) is
+  // just OT_λ(C) + c, which both sides see. A pure shift costs exactly |c|.
+  Rng rng(7);
+  const Matrix c = rng.UniformMatrix(5, 4, 0.0, 3.0);
+  const Matrix shifted = AddScalar(c, 10.0);
+  EXPECT_NEAR(testkit::EntropicOtGapBound(c, c), 0.0, 1e-12);
+  EXPECT_NEAR(testkit::EntropicOtGapBound(c, shifted), 10.0, 1e-9);
+}
+
+// --- satellite 2: sparse-plan truncation properties ----------------------
+
+TEST(SinkhornLowRankTest, TruncatedPlanMarginalsFullSupport) {
+  testkit::MatrixGen gen;
+  gen.min_rows = 2;
+  gen.max_rows = 16;
+  gen.max_cols = 5;
+  gen.lo = 0.0;
+  gen.hi = 1.0;
+  CHECK_MATRIX_PROPERTY(
+      "sinkhorn_lowrank_marginals_full",
+      [gen](Rng& rng) { return testkit::GenMatrix(rng, gen); },
+      [](const Matrix& x) -> PropertyStatus {
+        const Matrix ones = Matrix::Ones(x.rows(), x.cols());
+        // plan_topk ≥ m ⇒ full support: truncation is exact and the
+        // balanced plan must satisfy both marginals.
+        const SinkhornOptions opts =
+            LowRankOpts(1.5, /*rank=*/6, /*topk=*/64);
+        const SinkhornSolution lr = SolveSinkhornMasked(x, ones, x, ones, opts);
+        PROP_CHECK(lr.low_rank);
+        const size_t n = x.rows();
+        const std::vector<size_t>& rp = lr.sparse_plan.row_ptr();
+        const std::vector<size_t>& ci = lr.sparse_plan.col_idx();
+        const std::vector<double>& vals = lr.sparse_plan.values();
+        const double inv_n = 1.0 / static_cast<double>(n);
+        std::vector<double> colsum(n, 0.0);
+        for (size_t i = 0; i < n; ++i) {
+          double rs = 0.0;
+          for (size_t t = rp[i]; t < rp[i + 1]; ++t) {
+            PROP_CHECK(vals[t] >= 0.0);
+            rs += vals[t];
+            colsum[ci[t]] += vals[t];
+          }
+          // Row marginals are exact: the balancing sweeps end on rows.
+          PROP_CHECK_NEAR(rs, inv_n, 1e-12);
+        }
+        // Column marginals converge through the balancing sweeps.
+        for (size_t j = 0; j < n; ++j) {
+          PROP_CHECK_MSG(std::abs(colsum[j] * n - 1.0) <= 1e-3,
+                         "col " << j << " sum " << colsum[j]);
+        }
+        return PropertyStatus::Pass();
+      });
+}
+
+TEST(SinkhornLowRankTest, TruncatedPlanMassAndSupportBounds) {
+  // m > plan_topk: the support is genuinely truncated. Mass conservation
+  // (total = 1, rows exact) must survive, and the stored support can never
+  // exceed n·topk entries.
+  Rng rng(19);
+  const size_t n = 48, m = 64, d = 4;
+  const Matrix a = rng.UniformMatrix(n, d, 0.0, 1.0);
+  const Matrix b = rng.UniformMatrix(m, d, 0.0, 1.0);
+  const Matrix ma = rng.BernoulliMatrix(n, d, 0.8);
+  const Matrix mb = rng.BernoulliMatrix(m, d, 0.8);
+  const SinkhornOptions opts = LowRankOpts(2.0, /*rank=*/12, /*topk=*/8);
+  const SinkhornSolution lr = SolveSinkhornMasked(a, ma, b, mb, opts);
+  ASSERT_TRUE(lr.low_rank);
+  EXPECT_LE(lr.sparse_plan.nnz(), n * 8);
+  const std::vector<size_t>& rp = lr.sparse_plan.row_ptr();
+  const std::vector<double>& vals = lr.sparse_plan.values();
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double rs = 0.0;
+    for (size_t t = rp[i]; t < rp[i + 1]; ++t) rs += vals[t];
+    EXPECT_NEAR(rs, 1.0 / n, 1e-12);
+    total += rs;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(SinkhornLowRankTest, DivergenceCloseToDenseOnTruncatedPlans) {
+  // End-to-end ε-closeness of what DIM consumes: the MS divergence value
+  // and its Prop.-1 gradient from the truncated sparse plan vs the dense
+  // exact solver, on the same inputs.
+  Rng rng(23);
+  const size_t n = 40, d = 4;
+  const Matrix x = rng.UniformMatrix(n, d, 0.0, 1.0);
+  const Matrix xbar = rng.UniformMatrix(n, d, 0.0, 1.0);
+  const Matrix m = rng.BernoulliMatrix(n, d, 0.75);
+
+  SinkhornOptions dense_opts = LowRankOpts(20.0, /*rank=*/0);
+  const DivergenceResult dense = MsDivergenceForTraining(xbar, x, m, dense_opts);
+
+  SinkhornOptions lr_opts = LowRankOpts(20.0, /*rank=*/24, /*topk=*/64);
+  const DivergenceResult lr = MsDivergenceForTraining(xbar, x, m, lr_opts);
+
+  EXPECT_NEAR(lr.value, dense.value, 5e-2 * (1.0 + std::abs(dense.value)));
+  double gmax = 0.0, gdiff = 0.0;
+  for (size_t k = 0; k < dense.grad_xbar.size(); ++k) {
+    gmax = std::max(gmax, std::abs(dense.grad_xbar[k]));
+    gdiff = std::max(gdiff,
+                     std::abs(dense.grad_xbar[k] - lr.grad_xbar[k]));
+  }
+  EXPECT_LE(gdiff, 5e-2 * (1.0 + gmax));
+}
+
+TEST(SinkhornLowRankTest, BitIdenticalAcrossThreadCounts) {
+  // The determinism contract extends to the low-rank path: potentials,
+  // truncated plan, and objective are a pure function of the inputs, never
+  // of the worker count.
+  Rng rng(5);
+  const size_t n = 96, m = 80, d = 5;
+  const Matrix a = rng.UniformMatrix(n, d, 0.0, 1.0);
+  const Matrix b = rng.UniformMatrix(m, d, 0.0, 1.0);
+  const Matrix ma = rng.BernoulliMatrix(n, d, 0.85);
+  const Matrix mb = rng.BernoulliMatrix(m, d, 0.85);
+  SinkhornOptions opts = LowRankOpts(3.0, /*rank=*/16, /*topk=*/12);
+  opts.epsilon_scaling = true;
+
+  auto solve_at = [&](int threads) {
+    runtime::SetNumThreads(threads);
+    return SolveSinkhornMasked(a, ma, b, mb, opts);
+  };
+  const SinkhornSolution one = solve_at(1);
+  for (const int threads : {2, 4}) {
+    const SinkhornSolution other = solve_at(threads);
+    EXPECT_EQ(one.iters, other.iters) << threads;
+    EXPECT_EQ(one.reg_value, other.reg_value) << threads;
+    EXPECT_EQ(one.transport_cost, other.transport_cost) << threads;
+    ASSERT_EQ(one.f.size(), other.f.size());
+    for (size_t i = 0; i < one.f.size(); ++i)
+      ASSERT_EQ(one.f[i], other.f[i]) << "f[" << i << "] @" << threads;
+    for (size_t j = 0; j < one.g.size(); ++j)
+      ASSERT_EQ(one.g[j], other.g[j]) << "g[" << j << "] @" << threads;
+    ASSERT_EQ(one.sparse_plan.nnz(), other.sparse_plan.nnz());
+    for (size_t t = 0; t < one.sparse_plan.nnz(); ++t) {
+      ASSERT_EQ(one.sparse_plan.col_idx()[t], other.sparse_plan.col_idx()[t]);
+      ASSERT_EQ(one.sparse_plan.values()[t], other.sparse_plan.values()[t])
+          << "nnz " << t << " @" << threads;
+    }
+  }
+  runtime::SetNumThreads(0);
+}
+
+// --- tentpole guardrail: rank = 0 keeps the historic solver bit-exact ----
+
+TEST(SinkhornLowRankTest, RankZeroBitIdenticalToDenseSolver) {
+  Rng rng(11);
+  const size_t n = 24, m = 30, d = 4;
+  const Matrix a = rng.UniformMatrix(n, d, 0.0, 1.0);
+  const Matrix b = rng.UniformMatrix(m, d, 0.0, 1.0);
+  const Matrix ma = rng.BernoulliMatrix(n, d, 0.7);
+  const Matrix mb = rng.BernoulliMatrix(m, d, 0.7);
+  SinkhornOptions opts;
+  opts.lambda = 1.3;
+  opts.max_iters = 400;
+  opts.tol = 1e-11;
+  opts.rank = 0;
+  const SinkhornSolution routed = SolveSinkhornMasked(a, ma, b, mb, opts);
+  const SinkhornSolution direct =
+      SolveSinkhorn(MaskedCostMatrix(a, ma, b, mb), opts);
+  EXPECT_FALSE(routed.low_rank);
+  EXPECT_EQ(routed.sparse_plan.nnz(), 0u);
+  EXPECT_EQ(routed.iters, direct.iters);
+  EXPECT_EQ(routed.reg_value, direct.reg_value);
+  EXPECT_EQ(routed.transport_cost, direct.transport_cost);
+  ASSERT_TRUE(routed.plan.SameShape(direct.plan));
+  for (size_t t = 0; t < routed.plan.size(); ++t) {
+    ASSERT_EQ(routed.plan[t], direct.plan[t]) << "plan entry " << t;
+  }
+}
+
+TEST(SinkhornLowRankTest, ResolveRankSelection) {
+  SinkhornOptions opts;
+  opts.rank = 0;
+  EXPECT_EQ(ResolveSinkhornRank(opts, 100000, 100000), 0);
+  opts.rank = 7;
+  EXPECT_EQ(ResolveSinkhornRank(opts, 10, 10), 7);
+  opts.rank = SinkhornOptions::kAutoRank;
+  EXPECT_EQ(ResolveSinkhornRank(opts, 100, 100), 0);       // below threshold
+  EXPECT_EQ(ResolveSinkhornRank(opts, 4095, 128), 0);      // just below
+  EXPECT_EQ(ResolveSinkhornRank(opts, 5000, 5000), 141);   // 2·√5000
+  EXPECT_EQ(ResolveSinkhornRank(opts, 500000, 10), 256);   // clamped high
+  EXPECT_EQ(ResolveSinkhornRank(opts, 4096, 10), 128);     // 2·√4096
+}
+
+// --- satellite 4: SolveSinkhornWeighted input validation -----------------
+
+TEST(SinkhornLowRankTest, WeightedRejectsInvalidMarginals) {
+  Matrix c{{0.0, 1.0}, {1.0, 0.0}};
+  SinkhornOptions opts;
+  opts.lambda = 0.5;
+
+  auto expect_invalid = [&](const std::vector<double>& a,
+                            const std::vector<double>& b, const char* what) {
+    const Result<SinkhornSolution> res = SolveSinkhornWeighted(c, a, b, opts);
+    ASSERT_FALSE(res.ok()) << what;
+    EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument) << what;
+  };
+
+  expect_invalid({0.7, 0.3, 0.1}, {0.5, 0.5}, "wrong row-marginal size");
+  expect_invalid({0.7, 0.3}, {0.5}, "wrong col-marginal size");
+  expect_invalid({-0.2, 1.2}, {0.5, 0.5}, "negative entry");
+  expect_invalid({0.0, 1.0}, {0.5, 0.5}, "zero entry");
+  expect_invalid({std::nan(""), 0.5}, {0.5, 0.5}, "NaN entry");
+  expect_invalid({0.5, 0.5},
+                 {std::numeric_limits<double>::infinity(), 0.5}, "inf entry");
+  expect_invalid({0.6, 0.3}, {0.5, 0.5}, "rows do not sum to 1");
+  expect_invalid({0.5, 0.5}, {0.8, 0.8}, "cols do not sum to 1");
+
+  // Regression guard: valid marginals still solve (and keep solving after
+  // the Result<> migration).
+  const Result<SinkhornSolution> ok =
+      SolveSinkhornWeighted(c, {0.7, 0.3}, {0.4, 0.6}, opts);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->converged);
+  EXPECT_NEAR(ok->plan(0, 0) + ok->plan(0, 1), 0.7, 1e-8);
+}
+
+// --- satellite 3: edge-case corpus through the fuzz property -------------
+
+TEST(SinkhornLowRankFuzzTest, EdgeCaseFuzz) {
+  testkit::PropertyOptions opts;
+  opts.iterations = 25;  // every scenario × both λ branches
+  CHECK_PROPERTY("sinkhorn_edge_cases", SinkhornEdgeCaseProperty, opts);
+}
+
+TEST(SinkhornLowRankFuzzTest, EdgeCaseCorpusReplays) {
+  const std::vector<uint64_t> seeds = LoadSeedCorpus(
+      std::string(SCIS_TEST_CORPUS_DIR) + "/sinkhorn_edge_seeds.txt");
+  ASSERT_FALSE(seeds.empty()) << "corpus file missing or empty";
+  for (const uint64_t seed : seeds) {
+    const PropertyStatus status = SinkhornEdgeCaseProperty(seed);
+    EXPECT_TRUE(status.ok)
+        << "corpus seed " << seed << " regressed: " << status.message;
+  }
+}
+
+}  // namespace
+}  // namespace scis

@@ -64,7 +64,9 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(SinkhornTest, WeightedMarginals) {
   Matrix c{{0.0, 1.0}, {1.0, 0.0}};
   std::vector<double> a{0.7, 0.3}, b{0.4, 0.6};
-  SinkhornSolution s = SolveSinkhornWeighted(c, a, b, Opts(0.2));
+  Result<SinkhornSolution> res = SolveSinkhornWeighted(c, a, b, Opts(0.2));
+  ASSERT_TRUE(res.ok());
+  const SinkhornSolution& s = *res;
   double r0 = s.plan(0, 0) + s.plan(0, 1);
   double c1 = s.plan(0, 1) + s.plan(1, 1);
   EXPECT_NEAR(r0, 0.7, 1e-8);
