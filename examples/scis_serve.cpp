@@ -25,16 +25,28 @@
 // scis_impute --save_index) to the single served model: each missing cell
 // then blends the generator output with the observed mean of the retrieved
 // nearest training rows. Incompatible with multi-model serving.
+//
+// --lifecycle turns on SSE-driven continuous learning (single model only):
+// every admitted request's rows are tapped into an append-only sample store
+// under --lifecycle_dir, a background controller re-runs the SSE confidence
+// estimate every --lifecycle_interval_ms, and when P(D(θ_n, θ_N) ≤ ε)
+// drops below 1−α it retrains on the SSE-chosen n* and hot-swaps the new
+// checkpoint into the fleet (published under <dir>/checkpoints). The
+// confidence / n* / swap-generation metrics land in --report-out.
 #include <atomic>
 #include <csignal>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/flags.h"
 #include "common/stopwatch.h"
+#include "lifecycle/lifecycle.h"
+#include "nn/serialize.h"
 #include "obs/run_report.h"
 #include "runtime/runtime.h"
+#include "serve/checkpoint_loader.h"
 #include "serve/server.h"
 
 using namespace scis;
@@ -76,6 +88,16 @@ int main(int argc, char** argv) {
   double max_wait_ms = 2.0;
   double request_timeout_ms = 0.0;
   double retrieval_blend = 0.5;
+  bool lifecycle = false;
+  std::string lifecycle_dir;
+  double lifecycle_interval_ms = 5000.0;
+  double lifecycle_epsilon = 0.001;
+  double lifecycle_alpha = 0.05;
+  double lifecycle_eta_scale = 1e-5;
+  long long lifecycle_min_rows = 64;
+  long long lifecycle_n0 = 0;
+  long long lifecycle_retrain_epochs = 4;
+  long long lifecycle_retrain_cap = 4096;
   FlagParser flags;
   flags.AddString("params", &params,
                   "comma-separated checkpoints (v2 text or v3 binary); "
@@ -103,6 +125,26 @@ int main(int argc, char** argv) {
                "neighbours retrieved per served row");
   flags.AddDouble("retrieval_blend", &retrieval_blend,
                   "neighbour weight in [0,1] for missing cells");
+  flags.AddBool("lifecycle", &lifecycle,
+                "enable SSE-driven continuous learning (single model)");
+  flags.AddString("lifecycle_dir", &lifecycle_dir,
+                  "root for the sample store and published checkpoints");
+  flags.AddDouble("lifecycle_interval_ms", &lifecycle_interval_ms,
+                  "drift-check cadence");
+  flags.AddDouble("lifecycle_epsilon", &lifecycle_epsilon,
+                  "SSE tolerated output difference (Eq. 4)");
+  flags.AddDouble("lifecycle_alpha", &lifecycle_alpha,
+                  "drift when confidence < 1 - alpha");
+  flags.AddDouble("lifecycle_eta_scale", &lifecycle_eta_scale,
+                  "Theorem-1 eta calibration constant");
+  flags.AddInt("lifecycle_min_rows", &lifecycle_min_rows,
+               "stored rows required before the first check");
+  flags.AddInt("lifecycle_n0", &lifecycle_n0,
+               "rows the served model was trained on (0 = min_rows)");
+  flags.AddInt("lifecycle_retrain_epochs", &lifecycle_retrain_epochs,
+               "DIM epochs per incremental retrain");
+  flags.AddInt("lifecycle_retrain_cap", &lifecycle_retrain_cap,
+               "row budget per retrain (0 = min(n*, stored rows))");
   flags.AddString("report-out", &report_out,
                   "write a JSON run report on shutdown");
   if (Status st = flags.Parse(argc, argv); !st.ok()) {
@@ -120,6 +162,14 @@ int main(int argc, char** argv) {
   }
   if (!index_path.empty() && param_paths.size() > 1) {
     std::printf("--index requires a single --params checkpoint\n");
+    return 1;
+  }
+  if (lifecycle && param_paths.size() > 1) {
+    std::printf("--lifecycle requires a single --params checkpoint\n");
+    return 1;
+  }
+  if (lifecycle && lifecycle_dir.empty()) {
+    std::printf("--lifecycle requires --lifecycle_dir\n");
     return 1;
   }
   if (threads > 0) runtime::SetNumThreads(static_cast<int>(threads));
@@ -152,7 +202,53 @@ int main(int argc, char** argv) {
   opts.queue.max_queue_rows = static_cast<size_t>(max_queue_rows);
   opts.queue.max_wait_ms = max_wait_ms;
   opts.queue.request_timeout_ms = request_timeout_ms;
+
+  // Continuous learning: the manager is built before the server (its tap
+  // must be in ServerOptions), but publishes *into* the server — the holder
+  // closes the cycle once the server exists.
+  auto server_holder = std::make_shared<serve::ImputationServer*>(nullptr);
+  std::unique_ptr<lifecycle::LifecycleManager> manager;
+  if (lifecycle) {
+    Result<Checkpoint> ckpt = LoadCheckpoint(param_paths[0]);
+    if (!ckpt.ok()) {
+      std::printf("lifecycle checkpoint %s: %s\n", param_paths[0].c_str(),
+                  ckpt.status().ToString().c_str());
+      return 1;
+    }
+    lifecycle::LifecycleOptions lopts;
+    lopts.dir = lifecycle_dir;
+    lopts.drift.check_interval_ms = lifecycle_interval_ms;
+    lopts.drift.min_rows = static_cast<size_t>(lifecycle_min_rows);
+    lopts.drift.initial_trained_rows = static_cast<size_t>(lifecycle_n0);
+    lopts.drift.retrain_cap_rows = static_cast<size_t>(lifecycle_retrain_cap);
+    lopts.drift.sse.epsilon = lifecycle_epsilon;
+    lopts.drift.sse.alpha = lifecycle_alpha;
+    lopts.drift.sse.eta_scale = lifecycle_eta_scale;
+    lopts.drift.retrain.epochs = static_cast<int>(lifecycle_retrain_epochs);
+    Result<std::unique_ptr<lifecycle::LifecycleManager>> mgr =
+        lifecycle::LifecycleManager::Create(
+            *ckpt,
+            [server_holder](
+                std::shared_ptr<const serve::ImputationEngine> next) {
+              if (*server_holder == nullptr) {
+                return Status::Unavailable("server not started");
+              }
+              return (*server_holder)->HotSwap(std::move(next));
+            },
+            lopts);
+    if (!mgr.ok()) {
+      std::printf("lifecycle: %s\n", mgr.status().ToString().c_str());
+      return 1;
+    }
+    manager = std::move(*mgr);
+    opts.sample_hook = manager->SampleHook();
+    std::printf("lifecycle on: %s (%zu rows stored, interval %.0f ms)\n",
+                lifecycle_dir.c_str(), manager->store().num_rows(),
+                lifecycle_interval_ms);
+  }
+
   serve::ImputationServer server(std::move(engines), opts);
+  *server_holder = &server;
   if (Status st = server.Start(); !st.ok()) {
     std::printf("start: %s\n", st.ToString().c_str());
     return 1;
@@ -174,6 +270,7 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
   std::signal(SIGHUP, HandleReload);
+  if (manager) manager->Start();
 
   Stopwatch watch;
   // Poll between waits so a SIGHUP can hot-swap re-loaded checkpoints
@@ -181,16 +278,20 @@ int main(int argc, char** argv) {
   while (!server.WaitFor(200.0)) {
     if (!g_reload.exchange(false)) continue;
     for (const std::string& path : param_paths) {
+      // Same load-and-validate rules as the lifecycle publisher
+      // (serve/checkpoint_loader), so the two swap paths cannot diverge.
       Result<std::shared_ptr<const serve::ImputationEngine>> engine =
-          serve::ImputationEngine::Load(path);
+          serve::LoadAndValidateCheckpoint(path);
       const Status st =
           engine.ok() ? server.HotSwap(std::move(*engine)) : engine.status();
       std::printf("reload %s: %s\n", path.c_str(),
                   st.ok() ? "swapped" : st.ToString().c_str());
     }
   }
+  if (manager) manager->Stop();
   server.Shutdown();
   g_server = nullptr;
+  *server_holder = nullptr;
 
   if (!report_out.empty()) {
     obs::RunReport report("scis_serve");
@@ -201,6 +302,12 @@ int main(int argc, char** argv) {
     report.AddConfig("max_wait_ms", max_wait_ms);
     report.AddConfig("request_timeout_ms", request_timeout_ms);
     report.AddConfig("threads", static_cast<int64_t>(threads));
+    if (lifecycle) {
+      report.AddConfig("lifecycle_dir", lifecycle_dir);
+      report.AddConfig("lifecycle_epsilon", lifecycle_epsilon);
+      report.AddConfig("lifecycle_alpha", lifecycle_alpha);
+      report.AddConfig("lifecycle_interval_ms", lifecycle_interval_ms);
+    }
     report.AddPhase("serving", watch.ElapsedSeconds());
     if (Status st = report.Write(report_out); !st.ok()) {
       std::printf("report %s: %s\n", report_out.c_str(),

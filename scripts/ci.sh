@@ -108,6 +108,39 @@ assert all(p['bit_identical'] for p in d['sweep']), d" \
       "$SMOKE/bench_serve.json"
     echo "serve bench smoke: OK ($(python3 -c "import json,sys; \
 print(len(json.load(open(sys.argv[1]))['sweep']))" "$SMOKE/bench_serve.json") sweep points, all bit-identical)"
+
+    # Continuous-learning loop smoke: the scis_lifecycle demo runs the full
+    # feed -> SSE drift check -> retrain-at-n* -> hot-swap loop against a
+    # live 2-shard server at 1/2/4 worker threads and exits non-zero unless
+    # every run is bit-identical with zero dropped or failed requests.
+    ./build/examples/scis_lifecycle --workdir "$SMOKE/lifecycle" \
+      --report-out "$SMOKE/lifecycle_report.json" >/dev/null
+    python3 -c "import json,sys; d=json.load(open(sys.argv[1])); \
+cfg=d['config']; \
+assert cfg['bit_identical_1_2_4_threads'] is True, cfg; \
+assert cfg['generation'] == 1 and cfg['n_star'] > 0, cfg" \
+      "$SMOKE/lifecycle_report.json"
+    echo "lifecycle loop smoke: OK (drift -> retrain -> swap, bit-identical at 1/2/4 threads)"
+
+    # Lifecycle perf smoke: the store/controller sweep must complete with a
+    # published generation at every point and emit a parseable json (quick
+    # mode; the committed full-mode baseline is bench/BENCH_lifecycle.json).
+    ./build/bench/lifecycle_loop --quick \
+      --bench-json="$SMOKE/bench_lifecycle.json" >/dev/null
+    python3 -c "import json,sys; d=json.load(open(sys.argv[1])); \
+assert d['schema']=='scis-bench-lifecycle-v1' and d['sweep'], d; \
+assert all(p['swapped'] and p['n_star'] > 0 for p in d['sweep']), d" \
+      "$SMOKE/bench_lifecycle.json"
+    echo "lifecycle bench smoke: OK ($(python3 -c "import json,sys; \
+print(len(json.load(open(sys.argv[1]))['sweep']))" "$SMOKE/bench_lifecycle.json") sweep points, all swapped)"
+
+    # Committed lifecycle baseline sanity: the checked-in full-mode sweep
+    # must parse and show the loop completing (swap published) everywhere.
+    python3 -c "import json,sys; d=json.load(open(sys.argv[1])); \
+assert d['schema']=='scis-bench-lifecycle-v1' and d['mode']=='full', d; \
+assert all(p['swapped'] and p['n_star'] > 0 for p in d['sweep']), d" \
+      bench/BENCH_lifecycle.json
+    echo "lifecycle baseline: OK (bench/BENCH_lifecycle.json, all points swapped)"
     ;;
   nightly)
     # High iteration counts: the nightly executable scales its property

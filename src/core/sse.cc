@@ -36,6 +36,40 @@ struct SseMetrics {
 
 }  // namespace
 
+Status ValidateSseOptions(const SseOptions& opts) {
+  if (!(opts.epsilon > 0.0)) {
+    return Status::InvalidArgument("SseOptions.epsilon must be > 0");
+  }
+  if (!(opts.alpha > 0.0 && opts.alpha < 1.0)) {
+    return Status::InvalidArgument("SseOptions.alpha must be in (0, 1)");
+  }
+  if (!(opts.beta > 0.0 && opts.beta < 1.0)) {
+    return Status::InvalidArgument("SseOptions.beta must be in (0, 1)");
+  }
+  if (opts.beta > opts.alpha) {
+    return Status::InvalidArgument(
+        "SseOptions.beta must not exceed alpha (Prop. 2 threshold)");
+  }
+  if (opts.k < 1) {
+    return Status::InvalidArgument("SseOptions.k must be >= 1");
+  }
+  if (!(opts.lambda > 0.0)) {
+    return Status::InvalidArgument("SseOptions.lambda must be > 0");
+  }
+  if (!(opts.eta_scale > 0.0)) {
+    return Status::InvalidArgument("SseOptions.eta_scale must be > 0");
+  }
+  if (opts.curvature_batches < 1) {
+    return Status::InvalidArgument(
+        "SseOptions.curvature_batches must be >= 1");
+  }
+  if (opts.curvature_batch_size < 2) {
+    return Status::InvalidArgument(
+        "SseOptions.curvature_batch_size must be >= 2 rows");
+  }
+  return Status::OK();
+}
+
 double SseZeta(double lambda, size_t d) {
   SCIS_CHECK_GT(lambda, 0.0);
   const double half_d = static_cast<double>(d / 2);
@@ -58,6 +92,7 @@ SseEstimator::SseEstimator(SseOptions opts) : opts_(opts), rng_(opts.seed) {}
 Status SseEstimator::Prepare(GenerativeImputer& model,
                              const Dataset& curvature_data) {
   SCIS_TRACE_SPAN("sse.prepare");
+  if (Status st = ValidateSseOptions(opts_); !st.ok()) return st;
   ParamStore& store = model.generator_params();
   theta0_ = store.ToFlat();
   const size_t p = theta0_.size();
@@ -241,6 +276,7 @@ Result<SseResult> SseEstimator::EstimateMinimumSize(GenerativeImputer& model,
                                                     size_t data_size,
                                                     const Dataset& validation,
                                                     size_t n0) {
+  if (Status st = ValidateSseOptions(opts_); !st.ok()) return st;
   if (n0 == 0 || n0 > data_size) {
     return Status::InvalidArgument("need 0 < n0 <= N");
   }

@@ -67,6 +67,13 @@ struct SseResult {
   double sse_seconds = 0.0;            // wall clock spent inside SSE
 };
 
+// Validates an SseOptions bundle: epsilon > 0; 0 < beta ≤ alpha < 1;
+// k ≥ 1; lambda, eta_scale > 0; a positive curvature budget. Returns
+// InvalidArgument naming the offending field (instead of aborting inside
+// SseThreshold or silently misbehaving) — checked by Prepare() and
+// EstimateMinimumSize(), matching the PR-8 Result<> convention.
+Status ValidateSseOptions(const SseOptions& opts);
+
 // ζ(λ) = e^{6/λ}(1 + 1/λ^{⌊d/2⌋})² for data normalized to [0,1]^d.
 double SseZeta(double lambda, size_t d);
 // Prop.-2 acceptance threshold, clamped to [0, 1].

@@ -1,0 +1,57 @@
+#include "lifecycle/lifecycle.h"
+
+namespace scis::lifecycle {
+
+Result<std::unique_ptr<LifecycleManager>> LifecycleManager::Create(
+    const Checkpoint& ckpt, CheckpointPublisher::SwapFn swap,
+    LifecycleOptions opts) {
+  if (opts.dir.empty()) {
+    return Status::InvalidArgument("lifecycle needs a directory");
+  }
+  Result<std::unique_ptr<SampleStore>> store = SampleStore::Open(
+      opts.dir + "/samples", ckpt.meta.columns.size(), opts.store);
+  if (!store.ok()) return store.status();
+
+  auto mgr = std::unique_ptr<LifecycleManager>(new LifecycleManager());
+  mgr->store_ = std::shared_ptr<SampleStore>(std::move(*store));
+  mgr->tap_ =
+      std::make_unique<SampleTap>(mgr->store_, opts.tap_capacity_rows);
+  mgr->publisher_ = std::make_unique<CheckpointPublisher>(
+      opts.dir + "/checkpoints", std::move(swap));
+
+  CheckpointPublisher* publisher = mgr->publisher_.get();
+  Result<std::unique_ptr<DriftController>> controller =
+      DriftController::Create(
+          mgr->store_, ckpt,
+          [publisher](const ParamStore& params, const CheckpointMeta& meta,
+                      const Matrix& validation) -> Status {
+            Result<std::string> path =
+                publisher->Publish(params, meta, validation);
+            return path.ok() ? Status::OK() : path.status();
+          },
+          opts.drift);
+  if (!controller.ok()) return controller.status();
+  mgr->controller_ = std::move(*controller);
+  return mgr;
+}
+
+LifecycleManager::~LifecycleManager() { Stop(); }
+
+std::function<void(const Matrix&)> LifecycleManager::SampleHook() {
+  SampleTap* tap = tap_.get();
+  return [tap](const Matrix& rows) { tap->Offer(rows); };
+}
+
+Result<DriftController::CheckOutcome> LifecycleManager::RunCheck() {
+  tap_->Drain();
+  return controller_->RunCheck();
+}
+
+void LifecycleManager::Start() { controller_->Start(); }
+
+void LifecycleManager::Stop() {
+  if (controller_) controller_->Stop();
+  if (tap_) tap_->Stop();
+}
+
+}  // namespace scis::lifecycle

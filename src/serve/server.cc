@@ -211,6 +211,9 @@ bool ImputationServer::ProcessFrames(uint64_t id, Conn* conn) {
           StageReply(conn, seq, MakeErrorFrame(queue.status()));
           break;
         }
+        // Continuous-learning tap: admitted rows feed the sample store off
+        // the execution path (bounded + non-blocking; see ServerOptions).
+        if (opts_.sample_hook) opts_.sample_hook(rows.value());
         conn->in_flight++;
         // The callback runs on a pool worker (or inline on admission
         // failure): it may only touch the completion queue and the wakeup

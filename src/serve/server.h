@@ -28,6 +28,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -55,6 +56,11 @@ struct ServerOptions {
   size_t max_write_buffer_bytes = 64u << 20;
   // How long Shutdown waits for in-flight responses to flush.
   double drain_timeout_ms = 5000;
+  // Invoked on the event-loop thread with each admitted request's rows,
+  // after routing succeeds and before batch execution. Must not block —
+  // the continuous-learning tap (lifecycle::SampleTap::Offer) copies the
+  // rows into a bounded queue and returns.
+  std::function<void(const Matrix&)> sample_hook;
 };
 
 class ImputationServer {
