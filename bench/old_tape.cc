@@ -1,0 +1,194 @@
+// See old_tape.h — verbatim pre-fast-path engine, trimmed to the MLP step.
+#include "bench/old_tape.h"
+
+#include <cmath>
+
+#include "kernels/elementwise.h"
+
+namespace scis::oldtape {
+
+const Matrix& Var::value() const { return tape_->value(*this); }
+const Matrix& Var::grad() const { return tape_->grad(*this); }
+
+Tape::Tape() = default;
+
+Var Tape::Leaf(Matrix value) {
+  nodes_.push_back(NodeRec{std::move(value), Matrix(), false, true, {}, {}});
+  return Var(this, nodes_.size() - 1);
+}
+
+Var Tape::Constant(Matrix value) {
+  nodes_.push_back(NodeRec{std::move(value), Matrix(), false, false, {}, {}});
+  return Var(this, nodes_.size() - 1);
+}
+
+Var Tape::Node(Matrix value, std::vector<Var> parents,
+               std::function<void(Tape&, const Matrix& grad)> backward) {
+  bool needs_grad = false;
+  std::vector<size_t> pidx;
+  pidx.reserve(parents.size());
+  for (const Var& p : parents) {
+    SCIS_CHECK_MSG(p.tape() == this, "op mixes nodes from different tapes");
+    needs_grad = needs_grad || nodes_[p.index()].requires_grad;
+    pidx.push_back(p.index());
+  }
+  nodes_.push_back(NodeRec{std::move(value), Matrix(), false, needs_grad,
+                           std::move(pidx),
+                           needs_grad ? std::move(backward) : nullptr});
+  return Var(this, nodes_.size() - 1);
+}
+
+const Matrix& Tape::value(Var v) const {
+  SCIS_CHECK_LT(v.index(), nodes_.size());
+  return nodes_[v.index()].value;
+}
+
+const Matrix& Tape::grad(Var v) const {
+  SCIS_CHECK_LT(v.index(), nodes_.size());
+  const NodeRec& n = nodes_[v.index()];
+  if (!n.grad_alive) {
+    const_cast<NodeRec&>(n).grad = Matrix(n.value.rows(), n.value.cols());
+    const_cast<NodeRec&>(n).grad_alive = true;
+  }
+  return n.grad;
+}
+
+bool Tape::requires_grad(Var v) const {
+  SCIS_CHECK_LT(v.index(), nodes_.size());
+  return nodes_[v.index()].requires_grad;
+}
+
+void Tape::AccumulateGrad(Var v, const Matrix& delta) {
+  NodeRec& n = nodes_[v.index()];
+  if (!n.requires_grad) return;
+  if (!n.grad_alive) {
+    n.grad = delta;
+    n.grad_alive = true;
+  } else {
+    AddInPlace(n.grad, delta);
+  }
+}
+
+void Tape::Backward(Var loss) {
+  SCIS_CHECK_MSG(loss.tape() == this, "loss from another tape");
+  const NodeRec& ln = nodes_[loss.index()];
+  SCIS_CHECK_MSG(ln.value.rows() == 1 && ln.value.cols() == 1,
+                 "Backward target must be scalar");
+  for (NodeRec& n : nodes_) n.grad_alive = false;
+  AccumulateGrad(loss, Matrix::Ones(1, 1));
+  for (size_t k = loss.index() + 1; k-- > 0;) {
+    NodeRec& n = nodes_[k];
+    if (!n.grad_alive || !n.backward) continue;
+    n.backward(*this, n.grad);
+  }
+}
+
+void Tape::Clear() { nodes_.clear(); }
+
+namespace {
+// Shorthand for building a node whose backward only touches one parent.
+Var Unary(Var a, Matrix value,
+          std::function<Matrix(const Matrix& grad)> grad_a) {
+  Tape* t = a.tape();
+  return t->Node(std::move(value), {a},
+                 [a, grad_a](Tape& tape, const Matrix& g) {
+                   tape.AccumulateGrad(a, grad_a(g));
+                 });
+}
+}  // namespace
+
+Var MatMul(Var a, Var b) {
+  Tape* t = a.tape();
+  Matrix out = MatMul(a.value(), b.value());
+  return t->Node(std::move(out), {a, b}, [a, b](Tape& tape, const Matrix& g) {
+    if (tape.requires_grad(a))
+      tape.AccumulateGrad(a, MatMulTransB(g, b.value()));
+    if (tape.requires_grad(b))
+      tape.AccumulateGrad(b, MatMulTransA(a.value(), g));
+  });
+}
+
+Var AddRowBroadcast(Var a, Var row) {
+  Tape* t = a.tape();
+  return t->Node(AddRowBroadcast(a.value(), row.value()), {a, row},
+                 [a, row](Tape& tape, const Matrix& g) {
+                   tape.AccumulateGrad(a, g);
+                   if (tape.requires_grad(row))
+                     tape.AccumulateGrad(row, ColSum(g));
+                 });
+}
+
+Var Sigmoid(Var a) {
+  Matrix y = Sigmoid(a.value());
+  Matrix y_copy = y;  // captured for backward: dy/dx = y(1-y)
+  return Unary(a, std::move(y), [y_copy](const Matrix& g) {
+    Matrix d = Mul(y_copy, Map(y_copy, [](double v) { return 1.0 - v; }));
+    return Mul(g, d);
+  });
+}
+
+Var Relu(Var a) {
+  Matrix mask = Map(a.value(), [](double v) { return v > 0 ? 1.0 : 0.0; });
+  return Unary(a, Relu(a.value()),
+               [mask](const Matrix& g) { return Mul(g, mask); });
+}
+
+Var WeightedMseLoss(Var pred, Var target, Var weight) {
+  Tape* t = pred.tape();
+  const Matrix& p = pred.value();
+  const Matrix& y = target.value();
+  const Matrix& w = weight.value();
+  SCIS_CHECK(p.SameShape(y) && p.SameShape(w));
+  double wsum = Sum(w);
+  if (wsum <= 0) wsum = 1.0;  // fully-missing batch: zero loss, zero grad
+  Matrix out(1, 1);
+  out(0, 0) = kernels::WeightedSse(w.data(), p.data(), y.data(), p.size()) /
+              wsum;
+  return t->Node(std::move(out), {pred, target, weight},
+                 [pred, target, weight, wsum](Tape& tape, const Matrix& g) {
+                   const Matrix& pv = pred.value();
+                   const Matrix& yv = target.value();
+                   const Matrix& wv = weight.value();
+                   Matrix gp(pv.rows(), pv.cols());
+                   kernels::WeightedDiff(wv.data(), pv.data(), yv.data(),
+                                         2.0 * g(0, 0) / wsum, gp.data(),
+                                         pv.size());
+                   if (tape.requires_grad(pred)) tape.AccumulateGrad(pred, gp);
+                   if (tape.requires_grad(target))
+                     tape.AccumulateGrad(target, MulScalar(gp, -1.0));
+                 });
+}
+
+Var WeightedBceLoss(Var p, Var labels, Var weight) {
+  Tape* t = p.tape();
+  constexpr double kEps = 1e-8;
+  const Matrix& pv = p.value();
+  const Matrix& yv = labels.value();
+  const Matrix& wv = weight.value();
+  SCIS_CHECK(pv.SameShape(yv) && pv.SameShape(wv));
+  double wsum = Sum(wv);
+  if (wsum <= 0) wsum = 1.0;
+  Matrix pc = Clamp(pv, kEps, 1.0 - kEps);
+  double acc = 0.0;
+  for (size_t k = 0; k < pc.size(); ++k) {
+    const double pk = pc.data()[k], yk = yv.data()[k], wk = wv.data()[k];
+    acc -= wk * (yk * std::log(pk) + (1.0 - yk) * std::log(1.0 - pk));
+  }
+  Matrix out(1, 1);
+  out(0, 0) = acc / wsum;
+  return t->Node(
+      std::move(out), {p, labels, weight},
+      [p, pc, yv, wv, wsum](Tape& tape, const Matrix& g) {
+        if (!tape.requires_grad(p)) return;
+        Matrix gp(pc.rows(), pc.cols());
+        for (size_t k = 0; k < pc.size(); ++k) {
+          const double pk = pc.data()[k], yk = yv.data()[k],
+                       wk = wv.data()[k];
+          gp.data()[k] =
+              g(0, 0) * wk * (pk - yk) / (pk * (1.0 - pk)) / wsum;
+        }
+        tape.AccumulateGrad(p, gp);
+      });
+}
+
+}  // namespace scis::oldtape

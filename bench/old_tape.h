@@ -1,0 +1,83 @@
+// The pre-fast-path autodiff engine, vendored verbatim from the git history
+// of src/autodiff/tape.{h,cc} (trimmed to the ops a supervised MLP training
+// step records). The train_throughput bench links this as its baseline arm
+// so the reported speedup measures the fast path against the engine the
+// repo actually ran before it — std::function backward closures, per-node
+// parent vectors, fresh zero-initialized matrices for every op output,
+// copy-assign gradient accumulation — rather than against a synthetic
+// stand-in. Bench-only: nothing in src/ uses this.
+#ifndef SCIS_BENCH_OLD_TAPE_H_
+#define SCIS_BENCH_OLD_TAPE_H_
+
+#include <functional>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "tensor/matrix_ops.h"
+
+namespace scis::oldtape {
+
+class Tape;
+
+// Handle to a node on a Tape. Valid until Tape::Clear()/destruction.
+class Var {
+ public:
+  Var() : tape_(nullptr), index_(0) {}
+  Var(Tape* tape, size_t index) : tape_(tape), index_(index) {}
+
+  bool valid() const { return tape_ != nullptr; }
+  Tape* tape() const { return tape_; }
+  size_t index() const { return index_; }
+
+  const Matrix& value() const;
+  const Matrix& grad() const;
+
+ private:
+  Tape* tape_;
+  size_t index_;
+};
+
+class Tape {
+ public:
+  Tape();
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  Var Leaf(Matrix value);
+  Var Constant(Matrix value);
+  Var Node(Matrix value, std::vector<Var> parents,
+           std::function<void(Tape&, const Matrix& grad)> backward);
+
+  const Matrix& value(Var v) const;
+  const Matrix& grad(Var v) const;
+
+  void AccumulateGrad(Var v, const Matrix& delta);
+  bool requires_grad(Var v) const;
+
+  void Backward(Var loss);
+  void Clear();
+
+ private:
+  struct NodeRec {
+    Matrix value;
+    Matrix grad;      // allocated lazily in Backward
+    bool grad_alive;  // whether grad has been touched this pass
+    bool requires_grad;
+    std::vector<size_t> parents;
+    std::function<void(Tape&, const Matrix& grad)> backward;
+  };
+  std::vector<NodeRec> nodes_;
+};
+
+// The differentiable ops of the old engine that an MLP training step
+// records, byte-for-byte from the pre-fast-path tape.cc.
+Var MatMul(Var a, Var b);
+Var AddRowBroadcast(Var a, Var row);
+Var Sigmoid(Var a);
+Var Relu(Var a);
+Var WeightedMseLoss(Var pred, Var target, Var weight);
+Var WeightedBceLoss(Var p, Var labels, Var weight);
+
+}  // namespace scis::oldtape
+
+#endif  // SCIS_BENCH_OLD_TAPE_H_

@@ -1,0 +1,384 @@
+// train_throughput — training-step fast path vs the pre-fast-path step.
+//
+//   train_throughput [--quick] [--steps 0] [--bench-json bench/BENCH_train.json]
+//                    [--trace-out t.json] [--report-out r.json]
+//
+// Two arms train the same MLP on the same batch with the same Adam state:
+//
+//   baseline  — a faithful replica of the training step before the fast
+//               path (see the git history of src/autodiff/tape.cc,
+//               param_store.cc, optimizer.cc): parameters copied onto the
+//               tape as leaves, constants copied, the unfused
+//               MatMul/AddRowBroadcast/activation op sequence with every
+//               intermediate a fresh zero-initialized Matrix, activation
+//               outputs duplicated for the backward closure, every gradient
+//               contribution materialized and then copy-assigned into its
+//               accumulator, gradients copied out for the optimizer, and
+//               the scalar (unvectorized) Adam inner loop.
+//   fastpath  — the current trainer shape: one persistent Tape recycled with
+//               Clear() (pooled buffers), FusedLinear layers via Mlp,
+//               ConstantRef/LeafRef zero-copy inputs, CollectGradsInto
+//               gradient views, and the kernel optimizer inner loops.
+//
+// Both timed arms are anchored to a single thread so the speedup measures
+// the fast path itself, not core count. The arms run in interleaved rounds
+// and the reported speedup is the ratio of median step times, so scheduler
+// noise on a shared box biases neither arm. The two arms are bit-identical by
+// construction (the FusedLinear test suite proves each piece), so the bench
+// asserts final weights match across arms and that the fastpath arm is
+// bit-identical at 1/2/4 threads, and reports steady-state pool misses
+// (must be 0). Config shapes follow the paper's GAIN nets (§VI: 2-layer,
+// width d) at Table-II-like column counts.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/old_tape.h"
+#include "kernels/elementwise.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+
+using namespace scis;
+
+namespace {
+
+struct TrainConfig {
+  std::string name;
+  std::vector<size_t> dims;  // {in, hidden..., out}
+  size_t batch = 0;
+  bool bce = false;  // GAIN-style weighted BCE vs weighted MSE reconstruction
+};
+
+struct BatchData {
+  Matrix x, y, w;
+};
+
+BatchData MakeBatch(const TrainConfig& cfg, Rng& rng) {
+  BatchData d;
+  d.x = rng.UniformMatrix(cfg.batch, cfg.dims.front(), 0.0, 1.0);
+  if (cfg.bce) {
+    d.y = rng.BernoulliMatrix(cfg.batch, cfg.dims.back(), 0.5);
+    d.w = Matrix::Ones(cfg.batch, cfg.dims.back());
+  } else {
+    d.y = rng.UniformMatrix(cfg.batch, cfg.dims.back(), 0.0, 1.0);
+    d.w = rng.BernoulliMatrix(cfg.batch, cfg.dims.back(), 0.8);
+  }
+  return d;
+}
+
+struct ArmOut {
+  std::vector<double> step_ms;   // timed steps only
+  std::vector<double> weights;   // final parameters, ToFlat order
+  uint64_t pool_miss_delta = 0;  // pool misses during the timed steps
+};
+
+// The pre-fast-path Adam::Step, byte-for-byte from the git history of
+// src/nn/optimizer.cc: the serial scalar inner loop (the kernel optimizer
+// computes the same element-independent math, so the arms stay bitwise
+// comparable).
+class OldAdam {
+ public:
+  explicit OldAdam(double lr) : lr_(lr) {}
+
+  void Step(ParamStore& store, const std::vector<Matrix>& grads) {
+    if (m_.empty()) {
+      m_.reserve(grads.size());
+      v_.reserve(grads.size());
+      for (const Matrix& g : grads) {
+        m_.emplace_back(g.rows(), g.cols());
+        v_.emplace_back(g.rows(), g.cols());
+      }
+    }
+    ++t_;
+    const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+    const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+    for (size_t i = 0; i < grads.size(); ++i) {
+      Matrix& p = store.value(i);
+      Matrix& m = m_[i];
+      Matrix& v = v_[i];
+      const double* g = grads[i].data();
+      double* pm = m.data();
+      double* pv = v.data();
+      double* pp = p.data();
+      for (size_t k = 0; k < p.size(); ++k) {
+        pm[k] = beta1_ * pm[k] + (1.0 - beta1_) * g[k];
+        pv[k] = beta2_ * pv[k] + (1.0 - beta2_) * g[k] * g[k];
+        const double mhat = pm[k] / bc1;
+        const double vhat = pv[k] / bc2;
+        pp[k] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+      }
+    }
+  }
+
+ private:
+  double lr_;
+  double beta1_ = 0.9, beta2_ = 0.999, eps_ = 1e-8;
+  uint64_t t_ = 0;
+  std::vector<Matrix> m_, v_;
+};
+
+ArmOut RunBaseline(const TrainConfig& cfg, int warmup, int steps,
+                   uint64_t seed) {
+  Rng rng(seed);
+  ParamStore store;
+  Mlp mlp(&store, "net", cfg.dims, Activation::kRelu, Activation::kSigmoid,
+          rng);
+  (void)mlp;  // the baseline drives the old engine over store's params
+  OldAdam adam(1e-3);
+  const BatchData d = MakeBatch(cfg, rng);
+  const size_t layers = cfg.dims.size() - 1;
+
+  ArmOut out;
+  out.step_ms.reserve(static_cast<size_t>(steps));
+  for (int s = 0; s < warmup + steps; ++s) {
+    Stopwatch watch;
+    // The pre-fast-path trainer step: a fresh tape, parameters copied on as
+    // leaves (the old ParamStore::Bind), constants copied on, the unfused
+    // per-layer op sequence, and gradients copied out (the old
+    // CollectGrads) for the scalar optimizer.
+    oldtape::Tape tape;
+    std::vector<oldtape::Var> params;
+    params.reserve(2 * layers);
+    oldtape::Var h = tape.Constant(d.x);
+    for (size_t l = 0; l < layers; ++l) {
+      oldtape::Var w = tape.Leaf(store.value(2 * l));
+      oldtape::Var b = tape.Leaf(store.value(2 * l + 1));
+      params.push_back(w);
+      params.push_back(b);
+      oldtape::Var z = oldtape::AddRowBroadcast(oldtape::MatMul(h, w), b);
+      h = l + 1 < layers ? oldtape::Relu(z) : oldtape::Sigmoid(z);
+    }
+    oldtape::Var loss =
+        cfg.bce ? oldtape::WeightedBceLoss(h, tape.Constant(d.y),
+                                           tape.Constant(d.w))
+                : oldtape::WeightedMseLoss(h, tape.Constant(d.y),
+                                           tape.Constant(d.w));
+    tape.Backward(loss);
+    std::vector<Matrix> grads;
+    grads.reserve(params.size());
+    for (const oldtape::Var& p : params) grads.push_back(p.grad());
+    adam.Step(store, grads);
+    if (s >= warmup) out.step_ms.push_back(watch.ElapsedMillis());
+  }
+  out.weights = store.ToFlat();
+  return out;
+}
+
+ArmOut RunFastpath(const TrainConfig& cfg, int warmup, int steps,
+                   uint64_t seed) {
+  Rng rng(seed);
+  ParamStore store;
+  Mlp mlp(&store, "net", cfg.dims, Activation::kRelu, Activation::kSigmoid,
+          rng);
+  Adam adam(1e-3);
+  const BatchData d = MakeBatch(cfg, rng);
+
+  Tape tape;
+  std::vector<const Matrix*> views;
+  ArmOut out;
+  out.step_ms.reserve(static_cast<size_t>(steps));
+  uint64_t misses_at_warmup = 0;
+  for (int s = 0; s < warmup + steps; ++s) {
+    if (s == warmup) misses_at_warmup = tape.pool_stats().misses;
+    Stopwatch watch;
+    Var pred = mlp.Forward(tape, tape.ConstantRef(&d.x));
+    Var loss = cfg.bce ? WeightedBceLoss(pred, tape.ConstantRef(&d.y),
+                                         tape.ConstantRef(&d.w))
+                       : WeightedMseLoss(pred, tape.ConstantRef(&d.y),
+                                         tape.ConstantRef(&d.w));
+    tape.Backward(loss);
+    store.CollectGradsInto(&views);
+    adam.Step(store, views);
+    tape.Clear();
+    if (s >= warmup) out.step_ms.push_back(watch.ElapsedMillis());
+  }
+  out.pool_miss_delta = tape.pool_stats().misses - misses_at_warmup;
+  out.weights = store.ToFlat();
+  return out;
+}
+
+double P50(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+double StepsPerSec(const std::vector<double>& ms) {
+  double total = 0.0;
+  for (double m : ms) total += m;
+  return total > 0.0 ? 1000.0 * static_cast<double>(ms.size()) / total : 0.0;
+}
+
+bool SameBits(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+struct ConfigResult {
+  const TrainConfig* cfg = nullptr;
+  double base_sps = 0.0, fast_sps = 0.0;
+  double base_p50 = 0.0, fast_p50 = 0.0;
+  double speedup = 0.0;
+  uint64_t pool_misses = 0;
+  bool weights_match = false;
+  bool bit_identical = false;
+};
+
+int WriteBenchJson(const std::string& path,
+                   const std::vector<ConfigResult>& results, bool quick,
+                   int warmup, int steps, int rounds) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::printf("bench-json: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"schema\": \"scis-bench-train-v1\",\n");
+  std::fprintf(out, "  \"mode\": \"%s\",\n", quick ? "quick" : "full");
+  std::fprintf(out, "  \"warmup_steps\": %d,\n", warmup);
+  std::fprintf(out, "  \"timed_steps\": %d,\n", steps);
+  std::fprintf(out, "  \"rounds\": %d,\n", rounds);
+  std::fprintf(out, "  \"configs\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& r = results[i];
+    std::string dims = "[";
+    for (size_t k = 0; k < r.cfg->dims.size(); ++k) {
+      dims += (k ? ", " : "") + std::to_string(r.cfg->dims[k]);
+    }
+    dims += "]";
+    std::fprintf(
+        out,
+        "    {\"name\": \"%s\", \"layers\": %s, \"batch\": %zu, "
+        "\"loss\": \"%s\",\n"
+        "     \"baseline_steps_per_sec\": %.1f, "
+        "\"fastpath_steps_per_sec\": %.1f,\n"
+        "     \"baseline_step_ms_p50\": %.4f, "
+        "\"fastpath_step_ms_p50\": %.4f,\n"
+        "     \"speedup_single_thread\": %.2f, "
+        "\"pool_misses_after_warmup\": %llu,\n"
+        "     \"weights_match_baseline\": %s, "
+        "\"bit_identical_1_2_4_threads\": %s}%s\n",
+        r.cfg->name.c_str(), dims.c_str(), r.cfg->batch,
+        r.cfg->bce ? "weighted_bce" : "weighted_mse", r.base_sps, r.fast_sps,
+        r.base_p50, r.fast_p50, r.speedup,
+        static_cast<unsigned long long>(r.pool_misses),
+        r.weights_match ? "true" : "false",
+        r.bit_identical ? "true" : "false",
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("bench json written to %s (%zu configs, mode=%s)\n",
+              path.c_str(), results.size(), quick ? "quick" : "full");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  long long steps_flag = 0;
+  std::string bench_json;
+  FlagParser flags;
+  flags.AddBool("quick", &quick, "short run for CI smoke");
+  flags.AddInt("steps", &steps_flag, "timed steps per arm (0 = mode default)");
+  flags.AddString("bench-json", &bench_json,
+                  "write the machine-readable results to this path");
+  bench::ObsSession obs("train_throughput");
+  obs.AddFlags(flags);
+  if (Status st = flags.Parse(argc, argv); !st.ok()) {
+    std::printf("%s\n", st.ToString().c_str());
+    return st.code() == StatusCode::kOutOfRange ? 0 : 1;
+  }
+  obs.Start();
+
+  const int warmup = quick ? 5 : 50;
+  const int steps =
+      steps_flag > 0 ? static_cast<int>(steps_flag) : (quick ? 30 : 500);
+  const int rounds = quick ? 1 : 3;
+  obs.report().AddConfig("warmup", static_cast<int64_t>(warmup));
+  obs.report().AddConfig("steps", static_cast<int64_t>(steps));
+  obs.report().AddConfig("rounds", static_cast<int64_t>(rounds));
+
+  // GAIN-shaped nets (§VI: 2-layer, width d, input 2d) at Table-II-like
+  // widths and DIM-trainer batch sizes.
+  const std::vector<TrainConfig> configs = {
+      {"d9_b128", {18, 9, 9}, 128, false},
+      {"d9_b256", {18, 9, 9}, 256, false},
+      {"d16_b128", {32, 16, 16}, 128, false},
+      {"d25_b256", {50, 25, 25}, 256, false},
+      {"d57_b256", {114, 57, 57}, 256, false},
+      {"d9_b512_bce", {18, 9, 9}, 512, true},
+  };
+
+  std::vector<ConfigResult> results;
+  std::printf("%16s %10s %10s %10s %10s %8s %7s %6s %6s\n", "config",
+              "base_sps", "fast_sps", "base_p50", "fast_p50", "speedup",
+              "misses", "match", "ident");
+  for (const TrainConfig& cfg : configs) {
+    const uint64_t seed = 20260808;
+    runtime::SetNumThreads(1);  // timed arms: single-thread anchored
+    // Interleaved rounds: alternating the arms spreads machine noise
+    // (scheduler interference, frequency drift) evenly over both, and the
+    // p50 over the pooled samples is robust to spikes within a round.
+    ArmOut base, fast;
+    uint64_t pool_misses = 0;
+    bool weights_match = true;
+    for (int round = 0; round < rounds; ++round) {
+      ArmOut b = RunBaseline(cfg, warmup, steps, seed);
+      ArmOut f = RunFastpath(cfg, warmup, steps, seed);
+      weights_match = weights_match && SameBits(b.weights, f.weights);
+      pool_misses += f.pool_miss_delta;
+      if (round == 0) {
+        base = std::move(b);
+        fast = std::move(f);
+      } else {
+        // Identical seeds give identical training; only timings differ.
+        weights_match = weights_match && SameBits(base.weights, b.weights);
+        base.step_ms.insert(base.step_ms.end(), b.step_ms.begin(),
+                            b.step_ms.end());
+        fast.step_ms.insert(fast.step_ms.end(), f.step_ms.begin(),
+                            f.step_ms.end());
+      }
+    }
+
+    ConfigResult r;
+    r.cfg = &cfg;
+    r.base_sps = StepsPerSec(base.step_ms);
+    r.fast_sps = StepsPerSec(fast.step_ms);
+    r.base_p50 = P50(base.step_ms);
+    r.fast_p50 = P50(fast.step_ms);
+    // Throughput ratio of the median step: a single interference spike in
+    // either arm cannot move it the way a mean-based ratio moves.
+    r.speedup = r.fast_p50 > 0.0 ? r.base_p50 / r.fast_p50 : 0.0;
+    r.pool_misses = pool_misses;
+    r.weights_match = weights_match;
+
+    // Determinism arm (untimed): the fast path must land on the same bits
+    // at any thread count.
+    r.bit_identical = true;
+    for (const int threads : {2, 4}) {
+      runtime::SetNumThreads(threads);
+      const ArmOut again = RunFastpath(cfg, warmup, steps, seed);
+      r.bit_identical = r.bit_identical && SameBits(fast.weights, again.weights);
+    }
+    runtime::SetNumThreads(0);
+
+    std::printf("%16s %10.1f %10.1f %9.3fms %9.3fms %7.2fx %7llu %6s %6s\n",
+                cfg.name.c_str(), r.base_sps, r.fast_sps, r.base_p50,
+                r.fast_p50, r.speedup,
+                static_cast<unsigned long long>(r.pool_misses),
+                r.weights_match ? "yes" : "NO",
+                r.bit_identical ? "yes" : "NO");
+    results.push_back(r);
+  }
+
+  int rc = 0;
+  if (!bench_json.empty()) {
+    rc = WriteBenchJson(bench_json, results, quick, warmup, steps, rounds);
+  }
+  return obs.Finish() || rc;
+}

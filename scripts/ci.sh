@@ -96,6 +96,34 @@ assert big['n'] >= 20000 and big['speedup_single_thread'] >= 5.0, big" \
       bench/BENCH_sinkhorn.json
     echo "sinkhorn baseline: OK (bench/BENCH_sinkhorn.json holds the 5x/1e-2 bar)"
 
+    # Train fast-path smoke: both arms of the training-step bench must run,
+    # the fast path must train to bit-identical weights (vs the vendored
+    # pre-fast-path engine, and across 1/2/4 threads), with zero steady-state
+    # tape-pool misses (quick mode; the committed full-mode baseline is
+    # bench/BENCH_train.json).
+    ./build/bench/train_throughput --quick \
+      --bench-json="$SMOKE/bench_train.json" >/dev/null
+    python3 -c "import json,sys; d=json.load(open(sys.argv[1])); \
+assert d['schema']=='scis-bench-train-v1' and d['configs'], d; \
+assert all(c['weights_match_baseline'] for c in d['configs']), d; \
+assert all(c['bit_identical_1_2_4_threads'] for c in d['configs']), d; \
+assert all(c['pool_misses_after_warmup'] == 0 for c in d['configs']), d" \
+      "$SMOKE/bench_train.json"
+    echo "train bench smoke: OK ($(python3 -c "import json,sys; \
+print(len(json.load(open(sys.argv[1]))['configs']))" "$SMOKE/bench_train.json") configs, weights bit-match old engine)"
+
+    # Committed train baseline sanity: the checked-in full-mode run must
+    # parse and hold the acceptance bar (>=2x single-thread step throughput
+    # on every config, zero pool misses, bitwise-equal weights).
+    python3 -c "import json,sys; d=json.load(open(sys.argv[1])); \
+assert d['schema']=='scis-bench-train-v1' and d['mode']=='full', d; \
+assert all(c['speedup_single_thread'] >= 2.0 for c in d['configs']), d; \
+assert all(c['weights_match_baseline'] for c in d['configs']), d; \
+assert all(c['bit_identical_1_2_4_threads'] for c in d['configs']), d; \
+assert all(c['pool_misses_after_warmup'] == 0 for c in d['configs']), d" \
+      bench/BENCH_train.json
+    echo "train baseline: OK (bench/BENCH_train.json holds the 2x bar on every config)"
+
     # Serve perf smoke: the connections x shards TCP sweep must complete,
     # every cell must be bit-identical to the offline engine, and the json
     # must parse (quick mode; the committed full-mode baseline is

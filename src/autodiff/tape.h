@@ -8,20 +8,38 @@
 // creation order (creation order is a topological order by construction).
 //
 // The tape is rebuilt every training step (define-by-run), matching how the
-// paper's models are trained in PyTorch. A CustomOp hook lets the masking
-// Sinkhorn divergence inject its analytic gradient (Prop. 1) into the graph.
+// paper's models are trained in PyTorch. Because the same graph shapes recur
+// every step, the tape recycles all of its storage through a shape-keyed
+// TapePool: Clear() parks node values and grad accumulators on free lists
+// instead of freeing them, node records live in a flat vector reserved from
+// the previous high-water mark, parent links are inline arrays, and backward
+// closures use fixed inline storage (BackwardFn) rather than heap-allocating
+// std::function state. At steady state a training step performs zero heap
+// allocations on the tape path; tape.pool.* obs counters and pool_stats()
+// expose the hit/miss evidence. A CustomOp hook lets the masking Sinkhorn
+// divergence inject its analytic gradient (Prop. 1) into the graph.
 #ifndef SCIS_AUTODIFF_TAPE_H_
 #define SCIS_AUTODIFF_TAPE_H_
 
+#include <cstdint>
 #include <functional>
+#include <initializer_list>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "autodiff/tape_pool.h"
 #include "tensor/matrix.h"
 #include "tensor/matrix_ops.h"
 
 namespace scis {
 
 class Tape;
+
+// Layer activation; lives here (not nn/layers.h) so the fused linear tape op
+// and the nn layer wrappers share one vocabulary.
+enum class Activation { kNone, kSigmoid, kRelu, kTanh, kSoftplus };
 
 // Handle to a node on a Tape. Valid until Tape::Clear()/destruction.
 class Var {
@@ -43,54 +61,178 @@ class Var {
   size_t index_;
 };
 
+// Move-only type-erased backward closure with fixed inline storage — the
+// tape-path replacement for std::function, which heap-allocates once a
+// capture outgrows its (implementation-defined, small) buffer. Closures
+// receive the node's own handle (`self`) so activations can read their
+// forward output through the tape instead of capturing Matrix copies.
+class BackwardFn {
+ public:
+  static constexpr size_t kStorage = 128;
+
+  BackwardFn() = default;
+
+  template <typename F, typename = std::enable_if_t<
+                            !std::is_same_v<std::decay_t<F>, BackwardFn>>>
+  BackwardFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kStorage,
+                  "backward closure exceeds BackwardFn inline storage; "
+                  "capture Vars (and read values via the tape) instead of "
+                  "capturing Matrix copies");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned backward closure");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    vtable_ = &Table<Fn>::vt;
+  }
+
+  BackwardFn(BackwardFn&& other) noexcept { MoveFrom(other); }
+  BackwardFn& operator=(BackwardFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  BackwardFn(const BackwardFn&) = delete;
+  BackwardFn& operator=(const BackwardFn&) = delete;
+  ~BackwardFn() { Reset(); }
+
+  explicit operator bool() const { return vtable_ != nullptr; }
+
+  void Reset() {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  void operator()(Tape& tape, Var self, const Matrix& grad) {
+    vtable_->invoke(storage_, tape, self, grad);
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void* fn, Tape& tape, Var self, const Matrix& grad);
+    void (*move)(void* dst, void* src);  // move-construct dst from src
+    void (*destroy)(void* fn);
+  };
+
+  template <typename Fn>
+  struct Table {
+    static void Invoke(void* fn, Tape& tape, Var self, const Matrix& grad) {
+      (*static_cast<Fn*>(fn))(tape, self, grad);
+    }
+    static void Move(void* dst, void* src) {
+      ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+      static_cast<Fn*>(src)->~Fn();
+    }
+    static void Destroy(void* fn) { static_cast<Fn*>(fn)->~Fn(); }
+    static constexpr VTable vt{&Invoke, &Move, &Destroy};
+  };
+
+  void MoveFrom(BackwardFn& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) {
+      vtable_->move(storage_, other.storage_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kStorage];
+  const VTable* vtable_ = nullptr;
+};
+
 class Tape {
  public:
   Tape();
+  ~Tape();
   Tape(const Tape&) = delete;
   Tape& operator=(const Tape&) = delete;
 
   // Process-unique identifier. Consumers that cache per-tape state (e.g.
   // ParamStore bindings) must key on this, not the Tape address — stack
-  // tapes are routinely destroyed and re-created at the same address.
+  // tapes are routinely destroyed and re-created at the same address, and
+  // Clear() bumps the id so recycled tapes shed stale bindings too.
   uint64_t id() const { return id_; }
 
   // Differentiable leaf (model parameters, inputs we differentiate w.r.t.).
   Var Leaf(Matrix value);
+  // Differentiable leaf borrowing caller-owned storage (no copy). The
+  // pointee must stay alive and at a stable address until Clear(); the
+  // ParamStore bind path uses this so parameters are never copied in.
+  Var LeafRef(const Matrix* value);
   // Non-differentiable leaf (data batches, masks, hints).
   Var Constant(Matrix value);
+  // Non-differentiable borrowing leaf; same lifetime contract as LeafRef.
+  Var ConstantRef(const Matrix* value);
 
-  // Interior node. `backward` is invoked with the node's accumulated
-  // gradient and must add the parents' contributions via AccumulateGrad.
-  Var Node(Matrix value, std::vector<Var> parents,
-           std::function<void(Tape&, const Matrix& grad)> backward);
+  // Interior node. `backward` is invoked with the node's handle and its
+  // accumulated gradient and must add the parents' contributions via
+  // AccumulateGrad.
+  Var Node(Matrix value, std::initializer_list<Var> parents,
+           BackwardFn backward);
 
   const Matrix& value(Var v) const;
   // Gradient of the last Backward() target w.r.t. v (zeros if untouched).
   const Matrix& grad(Var v) const;
 
   // Adds `delta` into v's gradient accumulator (used by backward closures).
+  // The rvalue overload installs `delta`'s buffer directly on first touch
+  // and recycles it into the pool otherwise — closures that compute their
+  // full contribution into a Temp() hand it over without a copy.
   void AccumulateGrad(Var v, const Matrix& delta);
+  void AccumulateGrad(Var v, Matrix&& delta);
   bool requires_grad(Var v) const;
 
   // Runs reverse-mode accumulation from `loss` (must be 1x1).
   void Backward(Var loss);
 
-  // Drops all nodes; outstanding Vars become invalid.
+  // Drops all nodes and recycles their storage; outstanding Vars become
+  // invalid and the tape id changes (invalidating cached bindings).
   void Clear();
 
   size_t num_nodes() const { return nodes_.size(); }
 
+  // Pooled scratch for ops and backward closures. Temp() contents are
+  // unspecified (callers overwrite); buffers handed to AccumulateGrad or
+  // Node() flow back automatically, anything else should be Recycle()d.
+  Matrix Temp(size_t rows, size_t cols) { return pool_.Acquire(rows, cols); }
+  Matrix TempZeroed(size_t rows, size_t cols) {
+    return pool_.AcquireZeroed(rows, cols);
+  }
+  void Recycle(Matrix&& m) { pool_.Release(std::move(m)); }
+
+  // Cumulative pool statistics for this tape (not reset by Clear()).
+  const TapePool::Stats& pool_stats() const { return pool_.stats(); }
+
  private:
+  static constexpr size_t kMaxParents = 4;
+
   struct NodeRec {
-    Matrix value;
-    Matrix grad;        // allocated lazily in Backward
-    bool grad_alive;    // whether grad has been touched this pass
+    Matrix value;             // owned value (empty when value_ref is set)
+    const Matrix* value_ref;  // borrowed value (params, batch data)
+    Matrix grad;              // lazily materialized, recycled across steps
+    bool grad_alive;          // whether grad has been touched this pass
     bool requires_grad;
-    std::vector<size_t> parents;
-    std::function<void(Tape&, const Matrix& grad)> backward;
+    uint8_t num_parents;
+    uint32_t parents[kMaxParents];
+    BackwardFn backward;
   };
+
+  static const Matrix& ValueOf(const NodeRec& n) {
+    return n.value_ref != nullptr ? *n.value_ref : n.value;
+  }
+
+  NodeRec& Push(Matrix value, const Matrix* value_ref, bool requires_grad);
+  // Publishes pool hit/miss deltas to the tape.pool.* obs counters.
+  void ReportPoolStats();
+
   uint64_t id_;
   std::vector<NodeRec> nodes_;
+  size_t high_water_ = 0;        // node count at the last Clear()
+  mutable TapePool pool_;        // mutable: grad() materializes lazily
+  TapePool::Stats reported_{};   // stats already published to obs
 };
 
 // ---- differentiable operations (parallel to tensor/matrix_ops.h) ----
@@ -119,6 +261,16 @@ Var MulColBroadcast(Var a, Var col);
 // Per-row log-sum-exp: (n,k) -> (n,1); backward is the row softmax. The
 // reduction behind importance-weighted (IWAE/MIWAE) bounds.
 Var RowLogSumExp(Var a);
+
+// Fused linear layer: act(x·w + b) as ONE node (the issue's `Linear` tape
+// op; named FusedLinear because nn/layers.h already has a Linear class).
+// Forward is a single register-tiled pass over the packed matmul kernel
+// with the bias add and activation applied at the tile store; backward
+// produces dX, dW, db in one sweep from the saved output. Bit-identical to
+// the unfused Apply(act, AddRowBroadcast(MatMul(x, w), b)) composition.
+// kSoftplus falls back to an unfused activation (its derivative needs the
+// pre-activation, which the fused node does not keep).
+Var FusedLinear(Var x, Var w, Var b, Activation act);
 
 // Mean squared error restricted to entries where weight==1 (mask); weight is
 // a constant matrix of the same shape. Divides by the weight sum.

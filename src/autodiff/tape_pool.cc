@@ -1,0 +1,46 @@
+#include "autodiff/tape_pool.h"
+
+#include <utility>
+
+namespace scis {
+
+Matrix TapePool::Acquire(size_t rows, size_t cols) {
+  auto it = free_.find(Key(rows, cols));
+  if (it != free_.end() && !it->second.empty()) {
+    Matrix m = std::move(it->second.back());
+    it->second.pop_back();
+    ++stats_.hits;
+    stats_.bytes -= m.size() * sizeof(double);
+    return m;
+  }
+  ++stats_.misses;
+  return Matrix(rows, cols);
+}
+
+Matrix TapePool::AcquireZeroed(size_t rows, size_t cols) {
+  auto it = free_.find(Key(rows, cols));
+  if (it != free_.end() && !it->second.empty()) {
+    Matrix m = std::move(it->second.back());
+    it->second.pop_back();
+    ++stats_.hits;
+    stats_.bytes -= m.size() * sizeof(double);
+    m.Fill(0.0);
+    return m;
+  }
+  ++stats_.misses;
+  return Matrix(rows, cols);  // freshly allocated matrices are already zero
+}
+
+void TapePool::Release(Matrix&& m) {
+  if (m.empty()) return;
+  std::vector<Matrix>& list = free_[Key(m.rows(), m.cols())];
+  if (list.size() >= kMaxPerShape) {
+    ++stats_.dropped;
+    return;  // let the buffer free; caps one-shot shapes
+  }
+  ++stats_.recycled;
+  stats_.bytes += m.size() * sizeof(double);
+  list.push_back(std::move(m));
+}
+
+}  // namespace scis

@@ -1,0 +1,60 @@
+// Shape-keyed recycling pool for tape-owned Matrix buffers.
+//
+// Define-by-run training rebuilds the same graph every mini-batch, so the
+// set of (rows, cols) shapes a tape touches is fixed after the first step.
+// The pool parks released buffers on per-shape free lists; once warm, every
+// Acquire is served from a list and the training step performs zero heap
+// allocations on the tape path. Stats expose hits/misses/bytes so the
+// steady-state contract is checkable (see tape.pool.* obs counters and the
+// TapePool tier-1 tests).
+#ifndef SCIS_AUTODIFF_TAPE_POOL_H_
+#define SCIS_AUTODIFF_TAPE_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace scis {
+
+class TapePool {
+ public:
+  struct Stats {
+    uint64_t hits = 0;      // Acquire served from a free list
+    uint64_t misses = 0;    // Acquire had to heap-allocate
+    uint64_t recycled = 0;  // buffers parked by Release
+    uint64_t dropped = 0;   // releases refused because the shape list was full
+    uint64_t bytes = 0;     // payload bytes currently parked in free lists
+  };
+
+  // Returns a matrix of the given shape. Recycled buffers keep their stale
+  // contents — callers must overwrite every element or use AcquireZeroed.
+  Matrix Acquire(size_t rows, size_t cols);
+  Matrix AcquireZeroed(size_t rows, size_t cols);
+
+  // Parks `m`'s buffer for a future Acquire of the same shape. Free lists
+  // are capped so matrices moved in from outside the pool (batch constants,
+  // externally computed values) cannot grow it without bound; empty
+  // matrices are ignored.
+  void Release(Matrix&& m);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  // 64 buffers per shape comfortably covers the deepest per-step graphs
+  // (a GAIN D+G step peaks below 48 live matrices of any one shape).
+  static constexpr size_t kMaxPerShape = 64;
+
+  static uint64_t Key(size_t rows, size_t cols) {
+    return (static_cast<uint64_t>(rows) << 32) ^ static_cast<uint64_t>(cols);
+  }
+
+  std::unordered_map<uint64_t, std::vector<Matrix>> free_;
+  Stats stats_;
+};
+
+}  // namespace scis
+
+#endif  // SCIS_AUTODIFF_TAPE_POOL_H_

@@ -18,18 +18,23 @@ struct DimMetrics {
   obs::Gauge* epoch_loss;
   obs::Gauge* epoch_divergence;
   obs::Histogram* batch_ms;
+  obs::Histogram* critic_ms;
+  obs::Histogram* gen_step_ms;
 
   static const DimMetrics& Get() {
     static const DimMetrics m = [] {
       obs::Registry& r = obs::Registry::Global();
+      const std::vector<double> ms_bounds{0.5, 1, 2,  5,   10,
+                                          20,  50, 100, 250, 1000};
       return DimMetrics{
           r.GetCounter("dim.epochs"),
           r.GetCounter("dim.steps"),
           r.GetCounter("dim.critic_steps"),
           r.GetGauge("dim.epoch_loss"),
           r.GetGauge("dim.epoch_divergence"),
-          r.GetHistogram("dim.batch_ms",
-                         {0.5, 1, 2, 5, 10, 20, 50, 100, 250, 1000}),
+          r.GetHistogram("dim.batch_ms", ms_bounds),
+          r.GetHistogram("dim.critic_ms", ms_bounds),
+          r.GetHistogram("dim.gen_step_ms", ms_bounds),
       };
     }();
     return m;
@@ -87,47 +92,75 @@ Status DimTrainer::Train(GenerativeImputer& model, const Dataset& data) {
         for (int c = 0; c < opts_.critic_steps; ++c) {
           SCIS_TRACE_SPAN("dim.critic_step");
           metrics.critic_steps->Add(1);
-          Tape tape;
-          Var xbar = model.ReconstructOnTape(tape, x, m, /*train=*/true);
-          Var masked_fake = Mul(xbar, tape.Constant(m));
-          Var emb_fake = critic_->Forward(tape, masked_fake);
-          Var emb_real = critic_->Forward(tape, tape.Constant(xm));
-          Var div = SinkhornLossBoth(emb_fake, emb_real, sopts);
-          // Gradient ascent on the critic = descent on -div.
-          Var neg = MulScalar(div, -1.0);
-          tape.Backward(neg);
-          critic_adam_.Step(critic_store_, critic_store_.CollectGrads());
-          gen_store.CollectGrads();  // discard generator grads
+          Stopwatch critic_watch;
+          Tape& tape = critic_tape_;
+          Var neg;
+          {
+            SCIS_TRACE_SPAN("dim.forward");
+            Var xbar = model.ReconstructOnTape(tape, x, m, /*train=*/true);
+            Var masked_fake = Mul(xbar, tape.ConstantRef(&m));
+            Var emb_fake = critic_->Forward(tape, masked_fake);
+            Var emb_real = critic_->Forward(tape, tape.ConstantRef(&xm));
+            Var div = SinkhornLossBoth(emb_fake, emb_real, sopts);
+            // Gradient ascent on the critic = descent on -div.
+            neg = MulScalar(div, -1.0);
+          }
+          {
+            SCIS_TRACE_SPAN("dim.backward");
+            tape.Backward(neg);
+          }
+          {
+            SCIS_TRACE_SPAN("dim.optimizer");
+            critic_store_.CollectGradsInto(&grad_views_);
+            critic_adam_.Step(critic_store_, grad_views_);
+            gen_store.DropBindings();  // discard generator grads
+          }
+          tape.Clear();
+          metrics.critic_ms->Observe(critic_watch.ElapsedMillis());
         }
       }
 
       // --- generator descent on the MS-divergence loss (Eq. 3) ---
       {
-        Tape tape;
-        Var xbar = model.ReconstructOnTape(tape, x, m, /*train=*/true);
+        Stopwatch gen_watch;
+        Tape& tape = gen_tape_;
         Var loss;
         double div_value;
-        if (opts_.use_critic) {
-          Var masked_fake = Mul(xbar, tape.Constant(m));
-          Var emb_fake = critic_->Forward(tape, masked_fake);
-          Var emb_real = critic_->Forward(tape, tape.Constant(xm));
-          loss = SinkhornLossBoth(emb_fake, emb_real, sopts);
-          div_value = loss.value()(0, 0);
-        } else {
-          loss = MsLossFast(xbar, x, m, sopts);
-          div_value = loss.value()(0, 0);
+        {
+          SCIS_TRACE_SPAN("dim.forward");
+          Var xbar = model.ReconstructOnTape(tape, x, m, /*train=*/true);
+          if (opts_.use_critic) {
+            Var masked_fake = Mul(xbar, tape.ConstantRef(&m));
+            Var emb_fake = critic_->Forward(tape, masked_fake);
+            Var emb_real = critic_->Forward(tape, tape.ConstantRef(&xm));
+            loss = SinkhornLossBoth(emb_fake, emb_real, sopts);
+            div_value = loss.value()(0, 0);
+          } else {
+            loss = MsLossFast(xbar, x, m, sopts);
+            div_value = loss.value()(0, 0);
+          }
+          if (opts_.recon_weight > 0.0) {
+            Var rec = WeightedMseLoss(xbar, tape.ConstantRef(&x),
+                                      tape.ConstantRef(&m));
+            loss = Add(loss, MulScalar(rec, opts_.recon_weight));
+          }
         }
-        if (opts_.recon_weight > 0.0) {
-          Var rec = WeightedMseLoss(xbar, tape.Constant(x), tape.Constant(m));
-          loss = Add(loss, MulScalar(rec, opts_.recon_weight));
+        {
+          SCIS_TRACE_SPAN("dim.backward");
+          tape.Backward(loss);
         }
-        tape.Backward(loss);
-        gen_adam_.Step(gen_store, gen_store.CollectGrads());
-        if (opts_.use_critic) critic_store_.CollectGrads();
-        epoch_loss += loss.value()(0, 0);
+        {
+          SCIS_TRACE_SPAN("dim.optimizer");
+          gen_store.CollectGradsInto(&grad_views_);
+          gen_adam_.Step(gen_store, grad_views_);
+          if (opts_.use_critic) critic_store_.DropBindings();
+        }
+        epoch_loss += loss.value()(0, 0);  // node-owned: read before Clear
+        tape.Clear();
         epoch_div += div_value;
         ++batches;
         ++stats_.steps;
+        metrics.gen_step_ms->Observe(gen_watch.ElapsedMillis());
       }
       metrics.steps->Add(1);
       metrics.batch_ms->Observe(batch_watch.ElapsedMillis());
@@ -150,11 +183,12 @@ double DimTrainer::EvalLoss(GenerativeImputer& model, const Matrix& x,
   sopts.max_iters = opts_.sinkhorn_iters;
   sopts.tol = 1e-7;
   sopts.rank = opts_.sinkhorn_rank;
-  Tape tape;
+  Tape& tape = eval_tape_;
   Var xbar = model.ReconstructOnTape(tape, x, m, /*train=*/false);
   Var loss = MsLoss(xbar, x, m, sopts);
   const double v = loss.value()(0, 0);
-  model.generator_params().CollectGrads();  // clear bindings
+  model.generator_params().DropBindings();
+  tape.Clear();
   return v;
 }
 

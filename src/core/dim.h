@@ -70,6 +70,15 @@ class DimTrainer {
   double EvalLoss(GenerativeImputer& model, const Matrix& x,
                   const Matrix& m);
 
+  // Pool statistics of the persistent step tapes (steady-state training must
+  // show zero new misses; see tests/train_fastpath_test.cc).
+  const TapePool::Stats& gen_pool_stats() const {
+    return gen_tape_.pool_stats();
+  }
+  const TapePool::Stats& critic_pool_stats() const {
+    return critic_tape_.pool_stats();
+  }
+
  private:
   void EnsureCritic(size_t d, Rng& rng);
 
@@ -79,6 +88,10 @@ class DimTrainer {
   ParamStore critic_store_;
   std::unique_ptr<Mlp> critic_;
   DimStats stats_;
+  // Persistent step tapes: Clear() recycles node storage through the tape
+  // pool, so the second and later steps allocate nothing on the tape path.
+  Tape gen_tape_, critic_tape_, eval_tape_;
+  std::vector<const Matrix*> grad_views_;  // reused per step (no realloc)
 };
 
 }  // namespace scis

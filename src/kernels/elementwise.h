@@ -65,6 +65,21 @@ void WeightedDiff(const double* w, const double* p, const double* y, double s,
 void MaskedGradFinish(const double* m, const double* a, double prow, double* g,
                       size_t n);
 
+// Optimizer inner loops (nn/optimizer.cc), fused to one pass per parameter
+// tensor. Bit-identical to the historic matrix-at-a-time updates; the
+// ZeroGrad variants replicate feeding an all-zero gradient (the `+ 0.0`
+// normalizes -0 state exactly as the old code did).
+void AdamUpdate(double* p, double* m, double* v, const double* g, size_t n,
+                double beta1, double beta2, double bc1, double bc2, double lr,
+                double eps);
+void AdamUpdateZeroGrad(double* p, double* m, double* v, size_t n,
+                        double beta1, double beta2, double bc1, double bc2,
+                        double lr, double eps);
+void SgdMomentumUpdate(double* p, double* vel, const double* g, size_t n,
+                       double momentum, double lr);
+void SgdMomentumUpdateZeroGrad(double* p, double* vel, size_t n,
+                               double momentum, double lr);
+
 }  // namespace scis::kernels
 
 #endif  // SCIS_KERNELS_ELEMENTWISE_H_

@@ -1,0 +1,78 @@
+// Fused linear-layer kernels: forward act(X·W + b) in one register-tiled
+// pass over the packed matmul layout, and the matching backward pieces.
+//
+// Forward reuses the kernels/matmul micro-kernel structure verbatim — the
+// kRowTile × kColTile accumulator tile streams the full inner dimension in
+// ascending-p order — and applies the bias add and activation at the tile
+// store, so one layer is one pass over the output instead of three
+// (MatMul, AddRowBroadcast, activation) with two intermediate matrices.
+//
+// Determinism: an accumulator that starts at +0.0 can never end at -0.0, so
+// `act(acc + b)` is bit-identical to the unfused `(0 += acc) + b` store of
+// the historic composition at any thread count (callers chunk output rows
+// with RowAlignedGrain, as for the plain matmul). The activation scalars are
+// shared with kernels/elementwise via kernels/act.h.
+#ifndef SCIS_KERNELS_LINEAR_H_
+#define SCIS_KERNELS_LINEAR_H_
+
+#include <cstddef>
+
+namespace scis::kernels {
+
+// Activation applied at the tile store. Softplus is absent by design: its
+// derivative needs the pre-activation, which a fused node does not keep
+// (the tape falls back to an unfused softplus on top of kIdentity).
+enum class Act { kIdentity, kSigmoid, kRelu, kTanh };
+
+// y rows [i0, i1) = act(x·W + bias), with x row-major (rows × k), the k×n
+// weight matrix packed into wp (kernels/matmul.h PackPanels layout), and
+// bias a length-n row. Overwrites y (no zeroing needed).
+void LinearForwardRows(const double* x, const double* wp, const double* bias,
+                       double* y, size_t i0, size_t i1, size_t k, size_t n,
+                       Act act);
+
+// Widest output for which the direct (pack-free) row kernels below apply.
+// The register tile walks 4-column blocks, so any width works; the bound
+// marks where the weight matrix stops being cache-resident (64 columns at
+// the paper's layer depths keeps W under ~100 KB) and the packed-panel walk
+// of kernels/matmul.h starts to win back through contiguous panel reuse.
+inline constexpr size_t kSmallNMax = 64;
+
+// LinearForwardRows for n ≤ kSmallNMax with W row-major and unpacked: one
+// accumulator row per output row streams the full inner dimension in the
+// same ascending-p order as the packed kernel, so results are bit-identical
+// to it (and to the unfused composition) — it just skips the per-step pack
+// pass and the padded panel columns.
+void LinearForwardRowsSmallN(const double* x, const double* w,
+                             const double* bias, double* y, size_t i0,
+                             size_t i1, size_t k, size_t n, Act act);
+
+// out rows [i0, i1) += aᵀ·b for n ≤ kSmallNMax with b row-major and
+// unpacked — the dW = Xᵀ·dz backward without packing dz first. a is the
+// k × ma matrix read column-i-strided (as MatMulTransARowsPacked does);
+// ascending-p accumulation into a zeroed out keeps it bit-identical to the
+// packed variant.
+void MatMulTransARowsSmallN(const double* a, size_t ma, const double* b,
+                            double* out, size_t i0, size_t i1, size_t k,
+                            size_t n);
+
+// out rows [i0, i1) = a·bᵀ for n ≤ kSmallNMax output columns, a (rows × k)
+// and b (n × k) both row-major — the dX = dz·Wᵀ backward. Each output
+// element is one ascending-p dot of an a row with a b row, the exact
+// association of MatMulTransBRows (kernels/matmul.h); the register tile
+// just runs 16 of those chains at once.
+void MatMulTransBRowsSmallN(const double* a, const double* b, double* out,
+                            size_t i0, size_t i1, size_t k, size_t n);
+
+// dz[i] = g[i] · act'(y[i]) where y is the saved forward output — the
+// activation backward for every Act except kIdentity (whose dz is g).
+void ActBackwardArray(Act act, const double* g, const double* y, double* dz,
+                      size_t n);
+
+// out[j] += Σ_i a(i, j) over all rows, row-major a (rows × cols), serial in
+// row order — the bias gradient, association-identical to ColSum.
+void ColSumAcc(const double* a, size_t rows, size_t cols, double* out);
+
+}  // namespace scis::kernels
+
+#endif  // SCIS_KERNELS_LINEAR_H_

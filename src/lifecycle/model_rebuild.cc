@@ -54,7 +54,7 @@ Result<std::unique_ptr<GenerativeImputer>> RebuildTrainableModel(
     Matrix x(n, d);
     Matrix m = Matrix::Ones(n, d);
     model->ReconstructOnTape(tape, x, m, /*train=*/false);
-    model->generator_params().CollectGrads();  // drop the dummy bindings
+    model->generator_params().DropBindings();  // drop the dummy bindings
   }
 
   // Positional weight load, mirroring the engine's (W, b) pair contract.

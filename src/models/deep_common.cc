@@ -20,11 +20,13 @@ Status DeepImputerBase::Fit(const Dataset& data) {
     while (batcher.Next(&batch)) {
       Matrix x = data.values().GatherRows(batch);
       Matrix m = data.mask().GatherRows(batch);
-      Tape tape;
+      Tape& tape = train_tape_;
       Var loss = BuildLoss(tape, x, m);
       tape.Backward(loss);
-      adam_.Step(store_, store_.CollectGrads());
-      epoch_loss += loss.value()(0, 0);
+      store_.CollectGradsInto(&grad_views_);
+      adam_.Step(store_, grad_views_);
+      epoch_loss += loss.value()(0, 0);  // node-owned: read before Clear
+      tape.Clear();
       ++batches;
     }
     last_epoch_loss_ = batches ? epoch_loss / static_cast<double>(batches)

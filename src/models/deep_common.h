@@ -47,6 +47,8 @@ class DeepImputerBase : public Imputer {
   bool built_ = false;
   std::vector<double> train_means_;  // column means of the training data
   double last_epoch_loss_ = 0.0;
+  Tape train_tape_;  // persistent step tape: Clear() recycles storage
+  std::vector<const Matrix*> grad_views_;
 };
 
 }  // namespace scis

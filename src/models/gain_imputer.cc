@@ -62,7 +62,7 @@ Status GainImputer::Fit(const Dataset& data) {
       // --- discriminator step (skipped while D dominates) ---
       if (opts_.d_loss_floor <= 0.0 || last_d_loss_ == 0.0 ||
           last_d_loss_ >= opts_.d_loss_floor) {
-        Tape tape;
+        Tape& tape = disc_tape_;
         Var xbar = ReconstructOnTape(tape, x, m, /*train=*/true);
         // x̂ = m ⊙ x + (1−m) ⊙ x̄, built on-tape so G could get gradients,
         // but here only D's parameters are stepped.
@@ -74,14 +74,16 @@ Status GainImputer::Fit(const Dataset& data) {
         Var dprob = discriminator_->Forward(tape, din);
         Var dloss = WeightedBceLoss(dprob, mC, tape.Constant(ones));
         tape.Backward(dloss);
-        disc_adam_.Step(disc_store_, disc_store_.CollectGrads());
-        gen_store_.CollectGrads();  // discard generator grads this step
+        disc_store_.CollectGradsInto(&grad_views_);
+        disc_adam_.Step(disc_store_, grad_views_);
+        gen_store_.DropBindings();  // discard generator grads this step
         last_d_loss_ = dloss.value()(0, 0);
+        tape.Clear();
       }
 
       // --- generator step ---
       {
-        Tape tape;
+        Tape& tape = gen_tape_;
         Var xbar = ReconstructOnTape(tape, x, m, /*train=*/true);
         Var mC = tape.Constant(m);
         Var xC = tape.Constant(x);
@@ -96,9 +98,11 @@ Status GainImputer::Fit(const Dataset& data) {
         Var rec = WeightedMseLoss(xbar, xC, mC);
         Var gloss = Add(adv, MulScalar(rec, opts_.alpha));
         tape.Backward(gloss);
-        gen_adam_.Step(gen_store_, gen_store_.CollectGrads());
-        disc_store_.CollectGrads();  // discard discriminator grads
+        gen_store_.CollectGradsInto(&grad_views_);
+        gen_adam_.Step(gen_store_, grad_views_);
+        disc_store_.DropBindings();  // discard discriminator grads
         last_g_loss_ = gloss.value()(0, 0);
+        tape.Clear();
       }
     }
   }

@@ -59,6 +59,8 @@ class GainImputer final : public GenerativeImputer {
   std::unique_ptr<Mlp> generator_, discriminator_;
   bool built_ = false;
   double last_d_loss_ = 0.0, last_g_loss_ = 0.0;
+  Tape disc_tape_, gen_tape_;  // persistent step tapes (pooled storage)
+  std::vector<const Matrix*> grad_views_;
 };
 
 }  // namespace scis

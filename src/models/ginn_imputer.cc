@@ -49,14 +49,14 @@ Var GinnImputer::ReconstructOnTape(Tape& tape, const Matrix& x,
   // Re-implement GcnForward inline so the shared_ptr is captured.
   Tape* t = &tape;
   Var h1 = t->Node(graph->MatMulDense(w1.value()), {w1},
-                   [graph, w1](Tape& tp, const Matrix& g) {
+                   [graph, w1](Tape& tp, Var, const Matrix& g) {
                      if (tp.requires_grad(w1))
                        tp.AccumulateGrad(w1, graph->TransposeMatMulDense(g));
                    });
   Var h = Relu(h1);
   Var w2 = gcn2_->Forward(tape, h);
   Var h2 = t->Node(graph->MatMulDense(w2.value()), {w2},
-                   [graph, w2](Tape& tp, const Matrix& g) {
+                   [graph, w2](Tape& tp, Var, const Matrix& g) {
                      if (tp.requires_grad(w2))
                        tp.AccumulateGrad(w2, graph->TransposeMatMulDense(g));
                    });
@@ -79,32 +79,36 @@ Status GinnImputer::Fit(const Dataset& data) {
   for (int epoch = 0; epoch < opts_.deep.epochs; ++epoch) {
     // Critic steps: distinguish observed from imputed cells on x̂.
     for (int cstep = 0; cstep < opts_.critic_steps; ++cstep) {
-      Tape tape;
+      Tape& tape = critic_tape_;
       Var xbar = GcnForward(tape, graph, x, m);
-      Var mC = tape.Constant(m);
-      Var xhat = Add(Mul(mC, tape.Constant(x)),
-                     Mul(tape.Constant(inv_m), xbar));
+      Var mC = tape.ConstantRef(&m);
+      Var xhat = Add(Mul(mC, tape.ConstantRef(&x)),
+                     Mul(tape.ConstantRef(&inv_m), xbar));
       Var prob = critic_->Forward(tape, xhat);
-      Var closs = WeightedBceLoss(prob, mC, tape.Constant(ones));
+      Var closs = WeightedBceLoss(prob, mC, tape.ConstantRef(&ones));
       tape.Backward(closs);
-      critic_adam_.Step(critic_store_, critic_store_.CollectGrads());
-      gen_store_.CollectGrads();
+      critic_store_.CollectGradsInto(&grad_views_);
+      critic_adam_.Step(critic_store_, grad_views_);
+      gen_store_.DropBindings();
+      tape.Clear();
     }
     // Generator step.
     {
-      Tape tape;
+      Tape& tape = gen_tape_;
       Var xbar = GcnForward(tape, graph, x, m);
-      Var mC = tape.Constant(m);
-      Var xC = tape.Constant(x);
-      Var invC = tape.Constant(inv_m);
+      Var mC = tape.ConstantRef(&m);
+      Var xC = tape.ConstantRef(&x);
+      Var invC = tape.ConstantRef(&inv_m);
       Var xhat = Add(Mul(mC, xC), Mul(invC, xbar));
       Var prob = critic_->Forward(tape, xhat);
-      Var adv = WeightedBceLoss(prob, tape.Constant(ones), invC);
+      Var adv = WeightedBceLoss(prob, tape.ConstantRef(&ones), invC);
       Var rec = WeightedMseLoss(xbar, xC, mC);
       Var gloss = Add(adv, MulScalar(rec, opts_.alpha));
       tape.Backward(gloss);
-      gen_adam_.Step(gen_store_, gen_store_.CollectGrads());
-      critic_store_.CollectGrads();
+      gen_store_.CollectGradsInto(&grad_views_);
+      gen_adam_.Step(gen_store_, grad_views_);
+      critic_store_.DropBindings();
+      tape.Clear();
     }
   }
   return Status::OK();

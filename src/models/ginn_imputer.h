@@ -65,6 +65,8 @@ class GinnImputer final : public GenerativeImputer {
   std::unique_ptr<Linear> gcn1_, gcn2_;
   std::unique_ptr<Mlp> critic_;
   bool built_ = false;
+  Tape critic_tape_, gen_tape_;  // persistent step tapes (pooled storage)
+  std::vector<const Matrix*> grad_views_;
 };
 
 }  // namespace scis

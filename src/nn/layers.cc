@@ -29,7 +29,7 @@ Var Linear::Forward(Tape& tape, Var x) const {
   SCIS_CHECK_EQ(x.cols(), in_);
   Var w = store_->Bind(tape, w_);
   Var b = store_->Bind(tape, b_);
-  return Apply(act_, AddRowBroadcast(MatMul(x, w), b));
+  return FusedLinear(x, w, b, act_);
 }
 
 Var Dropout(Var x, double rate, bool train, Rng& rng) {

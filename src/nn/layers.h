@@ -13,7 +13,8 @@
 
 namespace scis {
 
-enum class Activation { kNone, kSigmoid, kRelu, kTanh, kSoftplus };
+// Activation is defined in autodiff/tape.h (shared with the fused linear
+// tape op).
 
 // Applies `act` to `x` on x's tape.
 Var Apply(Activation act, Var x);

@@ -2,35 +2,47 @@
 
 #include <cmath>
 
+#include "kernels/elementwise.h"
+
 namespace scis {
 
-void Sgd::Step(ParamStore& store, const std::vector<Matrix>& grads) {
+void Sgd::Step(ParamStore& store, const std::vector<const Matrix*>& grads) {
   SCIS_CHECK_EQ(grads.size(), store.size());
   if (momentum_ > 0.0 && velocity_.empty()) {
     velocity_.reserve(grads.size());
-    for (const Matrix& g : grads) velocity_.emplace_back(g.rows(), g.cols());
+    for (size_t i = 0; i < grads.size(); ++i) {
+      const Matrix& p = store.value(i);
+      velocity_.emplace_back(p.rows(), p.cols());
+    }
   }
   for (size_t i = 0; i < grads.size(); ++i) {
     Matrix& p = store.value(i);
+    const Matrix* g = grads[i];
     if (momentum_ > 0.0) {
       Matrix& vel = velocity_[i];
-      MulScalarInPlace(vel, momentum_);
-      AxpyInPlace(vel, 1.0, grads[i]);
-      AxpyInPlace(p, -lr_, vel);
-    } else {
-      AxpyInPlace(p, -lr_, grads[i]);
+      if (g != nullptr) {
+        kernels::SgdMomentumUpdate(p.data(), vel.data(), g->data(), p.size(),
+                                   momentum_, lr_);
+      } else {
+        kernels::SgdMomentumUpdateZeroGrad(p.data(), vel.data(), p.size(),
+                                           momentum_, lr_);
+      }
+    } else if (g != nullptr) {
+      // Null grad skipped: p += -lr·0 is a bitwise no-op.
+      kernels::Axpy(-lr_, g->data(), p.data(), p.size());
     }
   }
 }
 
-void Adam::Step(ParamStore& store, const std::vector<Matrix>& grads) {
+void Adam::Step(ParamStore& store, const std::vector<const Matrix*>& grads) {
   SCIS_CHECK_EQ(grads.size(), store.size());
   if (m_.empty()) {
     m_.reserve(grads.size());
     v_.reserve(grads.size());
-    for (const Matrix& g : grads) {
-      m_.emplace_back(g.rows(), g.cols());
-      v_.emplace_back(g.rows(), g.cols());
+    for (size_t i = 0; i < grads.size(); ++i) {
+      const Matrix& p = store.value(i);
+      m_.emplace_back(p.rows(), p.cols());
+      v_.emplace_back(p.rows(), p.cols());
     }
   }
   ++t_;
@@ -38,18 +50,15 @@ void Adam::Step(ParamStore& store, const std::vector<Matrix>& grads) {
   const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
   for (size_t i = 0; i < grads.size(); ++i) {
     Matrix& p = store.value(i);
-    Matrix& m = m_[i];
-    Matrix& v = v_[i];
-    const double* g = grads[i].data();
-    double* pm = m.data();
-    double* pv = v.data();
-    double* pp = p.data();
-    for (size_t k = 0; k < p.size(); ++k) {
-      pm[k] = beta1_ * pm[k] + (1.0 - beta1_) * g[k];
-      pv[k] = beta2_ * pv[k] + (1.0 - beta2_) * g[k] * g[k];
-      const double mhat = pm[k] / bc1;
-      const double vhat = pv[k] / bc2;
-      pp[k] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    const Matrix* g = grads[i];
+    if (g != nullptr) {
+      kernels::AdamUpdate(p.data(), m_[i].data(), v_[i].data(), g->data(),
+                          p.size(), beta1_, beta2_, bc1, bc2, lr_, eps_);
+    } else {
+      // Moments still decay on a zero gradient (matches feeding zeros).
+      kernels::AdamUpdateZeroGrad(p.data(), m_[i].data(), v_[i].data(),
+                                  p.size(), beta1_, beta2_, bc1, bc2, lr_,
+                                  eps_);
     }
   }
 }

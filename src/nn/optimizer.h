@@ -1,5 +1,12 @@
 // First-order optimizers over a ParamStore. The paper trains all deep
 // models with ADAM (lr 0.001) and the downstream predictors with lr 0.005.
+//
+// The primary Step takes gradient *views* (ParamStore::CollectGradsInto):
+// const Matrix* per parameter in registration order, nullptr meaning a
+// structurally zero gradient. Views point straight at the tape's pooled
+// accumulators, so the optimizer path copies no gradient data. The
+// by-value overload remains for callers that materialize gradients
+// (CollectGrads) and is bit-identical to the view path.
 #ifndef SCIS_NN_OPTIMIZER_H_
 #define SCIS_NN_OPTIMIZER_H_
 
@@ -12,9 +19,17 @@ namespace scis {
 class Optimizer {
  public:
   virtual ~Optimizer() = default;
-  // Applies one update from gradients aligned with the store's registration
-  // order (as returned by ParamStore::CollectGrads).
-  virtual void Step(ParamStore& store, const std::vector<Matrix>& grads) = 0;
+  // Applies one update from gradient views aligned with the store's
+  // registration order; grads[i] == nullptr is a zero gradient.
+  virtual void Step(ParamStore& store,
+                    const std::vector<const Matrix*>& grads) = 0;
+  // Convenience for materialized gradients (ParamStore::CollectGrads).
+  void Step(ParamStore& store, const std::vector<Matrix>& grads) {
+    std::vector<const Matrix*> views;
+    views.reserve(grads.size());
+    for (const Matrix& g : grads) views.push_back(&g);
+    Step(store, views);
+  }
   virtual void Reset() = 0;
 };
 
@@ -23,7 +38,9 @@ class Sgd final : public Optimizer {
   explicit Sgd(double lr, double momentum = 0.0)
       : lr_(lr), momentum_(momentum) {}
 
-  void Step(ParamStore& store, const std::vector<Matrix>& grads) override;
+  using Optimizer::Step;
+  void Step(ParamStore& store,
+            const std::vector<const Matrix*>& grads) override;
   void Reset() override { velocity_.clear(); }
 
  private:
@@ -37,7 +54,9 @@ class Adam final : public Optimizer {
                 double eps = 1e-8)
       : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
 
-  void Step(ParamStore& store, const std::vector<Matrix>& grads) override;
+  using Optimizer::Step;
+  void Step(ParamStore& store,
+            const std::vector<const Matrix*>& grads) override;
   void Reset() override {
     m_.clear();
     v_.clear();

@@ -15,7 +15,7 @@ Var ParamStore::Bind(Tape& tape, ParamId id) {
   // Tapes are identified by id, not address (stack tapes recycle addresses).
   if (e.bound_tape_id == tape.id() && e.bound_var.valid()) return e.bound_var;
   e.bound_tape_id = tape.id();
-  e.bound_var = tape.Leaf(e.value);
+  e.bound_var = tape.LeafRef(&e.value);
   return e.bound_var;
 }
 
@@ -32,6 +32,27 @@ std::vector<Matrix> ParamStore::CollectGrads() {
     e.bound_var = Var();
   }
   return grads;
+}
+
+void ParamStore::CollectGradsInto(std::vector<const Matrix*>* out) {
+  out->clear();
+  out->reserve(params_.size());
+  for (Entry& e : params_) {
+    if (e.bound_tape_id != 0 && e.bound_var.valid()) {
+      out->push_back(&e.bound_var.grad());
+    } else {
+      out->push_back(nullptr);
+    }
+    e.bound_tape_id = 0;
+    e.bound_var = Var();
+  }
+}
+
+void ParamStore::DropBindings() {
+  for (Entry& e : params_) {
+    e.bound_tape_id = 0;
+    e.bound_var = Var();
+  }
 }
 
 size_t ParamStore::NumScalars() const {

@@ -28,13 +28,26 @@ class ParamStore {
   const Matrix& value(ParamId id) const { return params_[id].value; }
 
   // Creates a differentiable leaf for param `id` on `tape` and remembers the
-  // binding so CollectGrads can read its gradient after Backward().
+  // binding so CollectGrads can read its gradient after Backward(). The leaf
+  // borrows the stored value (LeafRef) — no copy; do not Add() parameters
+  // while bindings are live (entries would relocate under the tape).
   Var Bind(Tape& tape, ParamId id);
 
   // Gradients of all parameters w.r.t. the last Backward() on the bound
   // tape, in registration order (zero matrices for unbound params).
   // Clears the bindings.
   std::vector<Matrix> CollectGrads();
+
+  // Zero-copy variant: fills `out` with views of the tape-owned gradient
+  // accumulators in registration order; nullptr marks a parameter that was
+  // never bound (i.e. a structurally zero gradient the optimizer may skip).
+  // Clears the bindings. The pointers stay valid until the bound tape is
+  // Clear()ed or runs another Backward().
+  void CollectGradsInto(std::vector<const Matrix*>* out);
+
+  // Forgets the current tape bindings without touching gradients (for
+  // tapes that were only used for evaluation).
+  void DropBindings();
 
   // Total number of scalar parameters.
   size_t NumScalars() const;

@@ -44,7 +44,7 @@ Var SinkhornLossBoth(Var a, Var b, const SinkhornOptions& opts) {
   Matrix out(1, 1);
   out(0, 0) = ra.value * inv_2n;
   return t->Node(std::move(out), {a, b},
-                 [a, b, ga, gb](Tape& tape, const Matrix& g) {
+                 [a, b, ga, gb](Tape& tape, Var, const Matrix& g) {
                    if (tape.requires_grad(a))
                      tape.AccumulateGrad(a, MulScalar(ga, g(0, 0)));
                    if (tape.requires_grad(b))
